@@ -1,0 +1,142 @@
+// Command hpca03 reproduces the tables and figures of "Power-Aware Control
+// Speculation through Selective Throttling" (Aragón, González, González;
+// HPCA-9 2003) on the synthetic substrate of this repository.
+//
+// Usage:
+//
+//	hpca03 -exp <experiment> [-n instructions] [-warmup instructions]
+//	       [-depth stages] [-kb totalKB] [-bench name]
+//
+// Experiments:
+//
+//	table1   power breakdown + fraction wasted by mis-speculated instructions
+//	table2   benchmark characteristics (gshare miss rates vs paper)
+//	table3   simulated processor configuration
+//	fig1     oracle fetch / decode / select limit study
+//	ablation estimator/mechanism cross, gating-threshold sweep, per-class split
+//	fig3     fetch throttling (A1-A7)
+//	fig4     decode throttling (B1-B9)
+//	fig5     selection throttling (C1-C7)
+//	fig6     pipeline-depth sensitivity (6-28 stages, experiment C2)
+//	fig7     predictor+estimator size sensitivity (8-64 KB, experiment C2)
+//	conf     confidence estimator quality (SPEC / PVN)
+//	all      everything above, in paper order
+//	run      a single experiment id (-id C2) against the baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"selthrottle/internal/prog"
+	"selthrottle/internal/sim"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to reproduce (table1|table2|table3|fig1|fig3|fig4|fig5|fig6|fig7|conf|ablation|all|run)")
+	id := flag.String("id", "C2", "experiment id for -exp run (e.g. A5, B7, C2, oracle-fetch)")
+	n := flag.Uint64("n", prog.DefaultInstructions, "measured instructions per benchmark")
+	warmup := flag.Uint64("warmup", 0, "warmup instructions per benchmark (default n/4)")
+	depth := flag.Int("depth", 14, "pipeline depth in stages (fetch to commit)")
+	kb := flag.Int("kb", 16, "total predictor+estimator budget in KB (split half/half)")
+	bench := flag.String("bench", "", "restrict to a comma-separated list of benchmarks")
+	flag.Parse()
+
+	opts := sim.Options{
+		Instructions: *n,
+		Warmup:       *warmup,
+		Depth:        *depth,
+		PredBytes:    *kb * 1024 / 2,
+		ConfBytes:    *kb * 1024 / 2,
+	}
+	if *bench != "" {
+		var ps []prog.Profile
+		for _, name := range strings.Split(*bench, ",") {
+			p, ok := prog.ProfileByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "hpca03: unknown benchmark %q\n", name)
+				os.Exit(2)
+			}
+			ps = append(ps, p)
+		}
+		opts.Profiles = ps
+	}
+
+	switch *exp {
+	case "table1":
+		runTable1(opts)
+	case "table2":
+		runTable2(opts)
+	case "table3":
+		sim.WriteTable3(os.Stdout, sim.Default())
+	case "fig1":
+		runFigure("Figure 1: oracle fetch/decode/select", sim.OracleExperiments(), opts)
+	case "fig3":
+		runFigure("Figure 3: fetch throttling", sim.FetchExperiments(), opts)
+	case "fig4":
+		runFigure("Figure 4: decode throttling", sim.DecodeExperiments(), opts)
+	case "fig5":
+		runFigure("Figure 5: selection throttling", sim.SelectionExperiments(), opts)
+	case "fig6":
+		points := sim.DepthSweep(opts, nil)
+		sim.WriteSweep(os.Stdout, "Figure 6: pipeline depth (experiment C2)", "stages", points)
+	case "fig7":
+		points := sim.SizeSweep(opts, nil)
+		sim.WriteSweep(os.Stdout, "Figure 7: predictor+estimator size (experiment C2)", "KB", points)
+	case "conf":
+		sim.WriteConfidence(os.Stdout, sim.RunConfidence(opts))
+	case "ablation":
+		runFigure("Ablation: estimator x mechanism cross", sim.EstimatorCrossExperiments(), opts)
+		fmt.Println()
+		runFigure("Ablation: Pipeline Gating threshold sweep", sim.GateThresholdExperiments(), opts)
+		fmt.Println()
+		runFigure("Ablation: C2 per-class contributions", sim.EscalationAblationExperiments(), opts)
+	case "run":
+		e, ok := sim.ExperimentByID(*id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "hpca03: unknown experiment id %q\n", *id)
+			os.Exit(2)
+		}
+		runFigure("Experiment "+e.ID+": "+e.Label, []sim.Experiment{e}, opts)
+	case "all":
+		sim.WriteTable3(os.Stdout, sim.Default())
+		fmt.Println()
+		runTable2(opts)
+		fmt.Println()
+		runTable1(opts)
+		fmt.Println()
+		sim.WriteConfidence(os.Stdout, sim.RunConfidence(opts))
+		fmt.Println()
+		runFigure("Figure 1: oracle fetch/decode/select", sim.OracleExperiments(), opts)
+		fmt.Println()
+		runFigure("Figure 3: fetch throttling", sim.FetchExperiments(), opts)
+		fmt.Println()
+		runFigure("Figure 4: decode throttling", sim.DecodeExperiments(), opts)
+		fmt.Println()
+		runFigure("Figure 5: selection throttling", sim.SelectionExperiments(), opts)
+		fmt.Println()
+		points := sim.DepthSweep(opts, nil)
+		sim.WriteSweep(os.Stdout, "Figure 6: pipeline depth (experiment C2)", "stages", points)
+		fmt.Println()
+		points = sim.SizeSweep(opts, nil)
+		sim.WriteSweep(os.Stdout, "Figure 7: predictor+estimator size (experiment C2)", "KB", points)
+	default:
+		fmt.Fprintf(os.Stderr, "hpca03: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func runTable1(opts sim.Options) {
+	sim.WriteTable1(os.Stdout, sim.RunTable1(opts))
+}
+
+func runTable2(opts sim.Options) {
+	sim.WriteTable2(os.Stdout, sim.RunTable2(opts))
+}
+
+func runFigure(name string, exps []sim.Experiment, opts sim.Options) {
+	fr := sim.RunFigure(name, exps, opts)
+	sim.WriteFigure(os.Stdout, fr)
+}

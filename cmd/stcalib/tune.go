@@ -1,0 +1,53 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"selthrottle/internal/prog"
+	"selthrottle/internal/sim"
+)
+
+// tuneNoiseScales solves, per profile, for the NoiseScaleOverride that lands
+// the measured gshare misprediction rate on the paper's Table 2 value, by
+// bisection on the (monotone) noise-scale/miss-rate relationship. It prints
+// the resulting scales as Go literals to paste into internal/prog/profile.go.
+func tuneNoiseScales(n, warmup uint64) {
+	profiles := prog.Profiles()
+	type result struct {
+		name  string
+		scale float64
+		miss  float64
+	}
+	results := make([]result, len(profiles))
+	var wg sync.WaitGroup
+	for i, p := range profiles {
+		wg.Add(1)
+		go func(i int, p prog.Profile) {
+			defer wg.Done()
+			// Grid search: the miss-rate response to the gate frequency
+			// is monotone only on average (hot-loop phases shift), so a
+			// best-seen grid beats bisection here.
+			target := p.PaperMissPct / 100
+			best, bestMiss, bestErr := 0.5, 0.0, math.Inf(1)
+			for f := 0.05; f <= 1.0001; f += 0.05 {
+				p.HardFreqOverride = f
+				cfg := sim.Default()
+				cfg.Instructions = n
+				cfg.Warmup = warmup
+				r := sim.Run(cfg, p)
+				if err := math.Abs(r.MissRate - target); err < bestErr {
+					best, bestMiss, bestErr = f, r.MissRate, err
+				}
+			}
+			results[i] = result{p.Name, best, bestMiss}
+		}(i, p)
+	}
+	wg.Wait()
+	fmt.Println("== tuned gate frequencies (paste HardFreqOverride into profiles)")
+	for i, r := range results {
+		fmt.Printf("%-10s HardFreqOverride: %.3f,   // measured miss %.1f%% target %.1f%%\n",
+			r.name, r.scale, 100*r.miss, profiles[i].PaperMissPct)
+	}
+}

@@ -1,0 +1,102 @@
+// Command sttrace prints interval statistics of one simulated run: per-window
+// IPC, misprediction rate, wrong-path traffic, and throttle engagement. It is
+// the phase-behaviour lens the aggregate tables of cmd/hpca03 average away —
+// useful when investigating why a policy helps one benchmark and hurts
+// another.
+//
+// Usage:
+//
+//	sttrace [-bench name] [-id C2|baseline] [-n instructions] [-interval cycles]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"selthrottle/internal/bpred"
+	"selthrottle/internal/conf"
+	"selthrottle/internal/core"
+	"selthrottle/internal/pipe"
+	"selthrottle/internal/power"
+	"selthrottle/internal/prog"
+	"selthrottle/internal/sim"
+)
+
+func main() {
+	bench := flag.String("bench", "go", "benchmark profile")
+	id := flag.String("id", "C2", "experiment id, or 'baseline'")
+	n := flag.Uint64("n", 200000, "instructions to simulate")
+	interval := flag.Int64("interval", 10000, "reporting interval in cycles")
+	flag.Parse()
+
+	profile, ok := prog.ProfileByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "sttrace: unknown benchmark %q\n", *bench)
+		os.Exit(2)
+	}
+	cfg := sim.Default()
+	if *id != "baseline" {
+		e, ok := sim.ExperimentByID(*id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "sttrace: unknown experiment %q\n", *id)
+			os.Exit(2)
+		}
+		cfg = e.Apply(cfg)
+	}
+
+	program := prog.Generate(profile)
+	walker := prog.NewWalker(program)
+	pred := bpred.NewGshare(cfg.PredBytes)
+	var est conf.Estimator = conf.NewBPRU(cfg.ConfBytes)
+	if cfg.Estimator == sim.EstJRS {
+		est = conf.NewJRS(cfg.ConfBytes, cfg.JRSThreshold)
+	}
+	ctrl := core.NewController(cfg.Policy)
+	meter := &power.Meter{}
+	pl := pipe.New(cfg.Pipe, walker, pred, est, ctrl, meter)
+
+	fmt.Printf("%s on %s (%d instructions, %d-cycle intervals)\n\n",
+		*id, *bench, *n, *interval)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "cycles\tIPC\tmiss%\twrong-path/fetch%\tfetch-gated%\tnoselect-stalls")
+
+	prev := pl.Stats
+	for pl.Stats.Committed < *n {
+		target := pl.Cycle() + *interval
+		for pl.Cycle() < target && pl.Stats.Committed < *n {
+			pl.Step()
+		}
+		s := pl.Stats
+		dCyc := s.Cycles - prev.Cycles
+		dCom := s.Committed - prev.Committed
+		dBr := s.CondBranches - prev.CondBranches
+		dMp := s.Mispredicts - prev.Mispredicts
+		dF := s.Fetched - prev.Fetched
+		dWp := s.WrongPathFetched - prev.WrongPathFetched
+		dGate := s.FetchGatedCycles - prev.FetchGatedCycles
+		dNs := s.NoSelectStalls - prev.NoSelectStalls
+		if dCyc == 0 {
+			break
+		}
+		miss := 0.0
+		if dBr > 0 {
+			miss = 100 * float64(dMp) / float64(dBr)
+		}
+		wp := 0.0
+		if dF > 0 {
+			wp = 100 * float64(dWp) / float64(dF)
+		}
+		fmt.Fprintf(tw, "%d\t%.2f\t%.1f\t%.1f\t%.1f\t%d\n",
+			s.Cycles, float64(dCom)/float64(dCyc), miss, wp,
+			100*float64(dGate)/float64(dCyc), dNs)
+		prev = s
+	}
+	tw.Flush()
+
+	report := meter.Analyze(power.DefaultParams())
+	fmt.Printf("\ntotals: IPC %.2f, miss %.1f%%, avg power %.1f W, wasted energy %.1f%%\n",
+		pl.Stats.IPC(), 100*pl.Stats.MissRate(), report.AvgPower,
+		100*report.WastedEnergy/report.TotalEnergy)
+}

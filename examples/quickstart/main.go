@@ -1,0 +1,57 @@
+// Quickstart: simulate one benchmark under the paper's baseline processor
+// and under the recommended Selective Throttling configuration (experiment
+// C2: stall fetch on very-low-confidence branches, quarter fetch bandwidth
+// and set no-select on low-confidence branches), then print the paper's four
+// headline metrics.
+//
+// Run with:
+//
+//	go run ./examples/quickstart [benchmark]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"selthrottle/internal/prog"
+	"selthrottle/internal/sim"
+)
+
+func main() {
+	bench := "go" // the paper's showcase benchmark (19.7 % misprediction)
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+	profile, ok := prog.ProfileByName(bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q; try one of:", bench)
+		for _, p := range prog.Profiles() {
+			fmt.Fprintf(os.Stderr, " %s", p.Name)
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(2)
+	}
+
+	// The paper's baseline: Table 3 processor, 14 stages, 8 KB gshare,
+	// 8 KB BPRU confidence estimator, no throttling.
+	cfg := sim.Default()
+	fmt.Printf("simulating %s (%d instructions after %d warmup)...\n",
+		bench, cfg.Instructions, cfg.Warmup)
+	base := sim.Run(cfg, profile)
+
+	// The same machine under Selective Throttling C2.
+	c2 := sim.BestExperiment()
+	throttled := sim.Run(c2.Apply(cfg), profile)
+
+	fmt.Printf("\nbaseline:  IPC %.2f  miss %.1f%%  power %.1f W  energy %.2e J\n",
+		base.IPC, 100*base.MissRate, base.AvgPower, base.Energy)
+	fmt.Printf("C2:        IPC %.2f  miss %.1f%%  power %.1f W  energy %.2e J\n",
+		throttled.IPC, 100*throttled.MissRate, throttled.AvgPower, throttled.Energy)
+
+	c := sim.Compare(base, throttled)
+	fmt.Printf("\nSelective Throttling (%s) vs baseline:\n", c2.Label)
+	fmt.Printf("  speedup:           %.3fx\n", c.Speedup)
+	fmt.Printf("  power savings:     %.1f%%\n", c.PowerSaving)
+	fmt.Printf("  energy savings:    %.1f%%\n", c.EnergySaving)
+	fmt.Printf("  E-D improvement:   %.1f%%\n", c.EDImprovement)
+}

@@ -1,0 +1,306 @@
+// Package cache implements the memory-hierarchy substrate: a generic
+// set-associative cache with true-LRU replacement, and the two-level
+// hierarchy of the paper's Table 3 (64 KB 2-way L1 I and D caches with
+// 32-byte lines, a 512 KB 4-way unified L2 with 6-cycle hit and 18-cycle
+// miss latency, and a 128-entry fully associative TLB).
+//
+// The caches are access-timing models: Access returns the latency of a
+// reference and updates tag/LRU state. Wrong-path references go through the
+// same state (so wrong-path fetch genuinely pollutes the I-cache, one of the
+// effects behind the paper's oracle-fetch speedup).
+package cache
+
+import "fmt"
+
+// Cache is a set-associative cache with true-LRU replacement.
+type Cache struct {
+	name      string
+	sets      int
+	ways      int
+	lineShift uint
+	tags      []uint64 // sets*ways; 0 means invalid
+	age       []uint32 // LRU ages, lower = newer
+
+	// Stats.
+	Accesses uint64
+	Misses   uint64
+}
+
+// New builds a cache. size and lineBytes are in bytes; size must be at least
+// ways lines. Geometry is rounded down to powers of two.
+func New(name string, size, lineBytes, ways int) *Cache {
+	if lineBytes < 8 {
+		lineBytes = 8
+	}
+	shift := uint(0)
+	for 1<<(shift+1) <= lineBytes {
+		shift++
+	}
+	lines := size / (1 << shift)
+	if lines < ways {
+		lines = ways
+	}
+	sets := lines / ways
+	p := 1
+	for p*2 <= sets {
+		p *= 2
+	}
+	sets = p
+	return &Cache{
+		name:      name,
+		sets:      sets,
+		ways:      ways,
+		lineShift: shift,
+		tags:      make([]uint64, sets*ways),
+		age:       make([]uint32, sets*ways),
+	}
+}
+
+// line converts an address to a line-granular tag (never zero for real
+// addresses because our address space starts above 0).
+func (c *Cache) line(addr uint64) uint64 { return addr >> c.lineShift }
+
+func (c *Cache) set(addr uint64) int {
+	return int(c.line(addr)&uint64(c.sets-1)) * c.ways
+}
+
+// Probe reports whether addr would hit, without touching LRU or stats.
+func (c *Cache) Probe(addr uint64) bool {
+	base := c.set(addr)
+	tag := c.line(addr)
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Access references addr, updating tags, LRU, and statistics. It reports
+// whether the reference hit; on a miss the line is filled (victim = LRU).
+func (c *Cache) Access(addr uint64) bool {
+	c.Accesses++
+	base := c.set(addr)
+	tag := c.line(addr)
+	victim, worstAge := base, uint32(0)
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == tag {
+			c.touch(base, w)
+			return true
+		}
+		if c.tags[base+w] == 0 {
+			// Prefer an invalid way; encode as an infinitely old entry.
+			if worstAge != ^uint32(0) {
+				victim, worstAge = base+w, ^uint32(0)
+			}
+			continue
+		}
+		if c.age[base+w] >= worstAge && worstAge != ^uint32(0) {
+			victim, worstAge = base+w, c.age[base+w]
+		}
+	}
+	c.Misses++
+	c.tags[victim] = tag
+	c.touch(base, victim-base)
+	return false
+}
+
+// touch marks way w of set base most recently used.
+func (c *Cache) touch(base, w int) {
+	for i := 0; i < c.ways; i++ {
+		if c.age[base+i] < ^uint32(0) {
+			c.age[base+i]++
+		}
+	}
+	c.age[base+w] = 0
+}
+
+// MissRate returns misses/accesses (0 when untouched).
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// String describes the geometry, for reports.
+func (c *Cache) String() string {
+	return fmt.Sprintf("%s: %d sets x %d ways x %d B/line",
+		c.name, c.sets, c.ways, 1<<c.lineShift)
+}
+
+// LineBytes reports the line size.
+func (c *Cache) LineBytes() int { return 1 << c.lineShift }
+
+// Config holds the hierarchy parameters (Table 3 defaults via Default).
+type Config struct {
+	L1ISize, L1IWays, L1ILine int
+	L1DSize, L1DWays, L1DLine int
+	L2Size, L2Ways, L2Line    int
+
+	L1HitLat  int // L1 hit latency, cycles
+	L2HitLat  int // L2 hit latency (L1 miss, L2 hit)
+	L2MissLat int // memory latency (L2 miss)
+
+	// Bus occupancy per access: an L1 miss holds the L2 bus, an L2 miss
+	// holds the memory bus; later misses queue behind earlier ones. This
+	// is how mis-speculated memory traffic slows down correct-path misses
+	// (the resource-waste effect behind the paper's oracle-fetch speedup).
+	L2BusyCycles  int
+	MemBusyCycles int
+
+	TLBEntries int
+}
+
+// Default returns the paper's Table 3 memory configuration.
+func Default() Config {
+	return Config{
+		L1ISize: 64 << 10, L1IWays: 2, L1ILine: 32,
+		L1DSize: 64 << 10, L1DWays: 2, L1DLine: 32,
+		L2Size: 512 << 10, L2Ways: 4, L2Line: 32,
+		L1HitLat: 1, L2HitLat: 6, L2MissLat: 18,
+		L2BusyCycles: 2, MemBusyCycles: 6,
+		TLBEntries: 128,
+	}
+}
+
+// Hierarchy is the two-level cache system with a shared L2 and a TLB.
+// Misses contend for the L2 and memory buses: each miss occupies its bus for
+// a configured number of cycles and later misses queue behind it.
+type Hierarchy struct {
+	cfg Config
+	L1I *Cache
+	L1D *Cache
+	L2  *Cache
+	TLB *TLB
+
+	l2BusFree  int64 // first cycle the L2 bus is free
+	memBusFree int64 // first cycle the memory bus is free
+}
+
+// NewHierarchy builds the hierarchy for cfg.
+func NewHierarchy(cfg Config) *Hierarchy {
+	return &Hierarchy{
+		cfg: cfg,
+		L1I: New("l1i", cfg.L1ISize, cfg.L1ILine, cfg.L1IWays),
+		L1D: New("l1d", cfg.L1DSize, cfg.L1DLine, cfg.L1DWays),
+		L2:  New("l2", cfg.L2Size, cfg.L2Line, cfg.L2Ways),
+		TLB: NewTLB(cfg.TLBEntries),
+	}
+}
+
+// InstFetch performs an instruction fetch at pc at the given cycle and
+// returns its latency in cycles, plus whether the L2 was accessed (for power
+// accounting).
+func (h *Hierarchy) InstFetch(pc uint64, now int64) (lat int, l2 bool) {
+	h.TLB.Access(pc)
+	// Next-line instruction prefetch, as in every real front end: a fetch
+	// at pc pulls the following line toward the L1I in the background.
+	// Without it, sequential refill misses dominate I-cache behaviour and
+	// wrong-path fetch turns into an artificially effective hot-loop
+	// prefetcher.
+	next := pc + uint64(h.L1I.LineBytes())
+	if h.L1I.Access(pc) {
+		h.prefetchI(next)
+		return h.cfg.L1HitLat, false
+	}
+	h.prefetchI(next)
+	if h.L2.Access(pc) {
+		return h.cfg.L2HitLat + h.busQueue(&h.l2BusFree, now, h.cfg.L2BusyCycles), true
+	}
+	lat = h.cfg.L2MissLat + h.busQueue(&h.l2BusFree, now, h.cfg.L2BusyCycles)
+	return lat + h.busQueue(&h.memBusFree, now, h.cfg.MemBusyCycles), true
+}
+
+// prefetchI fills the line holding pc into the L1I (and L2) without timing
+// cost and without touching demand-miss statistics.
+func (h *Hierarchy) prefetchI(pc uint64) {
+	if h.L1I.Probe(pc) {
+		return
+	}
+	h.L1I.Access(pc)
+	h.L1I.Accesses-- // prefetches are not demand accesses
+	h.L1I.Misses--
+	if !h.L2.Probe(pc) {
+		h.L2.Access(pc)
+		h.L2.Accesses--
+		h.L2.Misses--
+	}
+}
+
+// DataAccess performs a load/store at addr at the given cycle and returns
+// its latency plus whether the L2 was accessed.
+func (h *Hierarchy) DataAccess(addr uint64, now int64) (lat int, l2 bool) {
+	h.TLB.Access(addr)
+	if h.L1D.Access(addr) {
+		return h.cfg.L1HitLat, false
+	}
+	if h.L2.Access(addr) {
+		return h.cfg.L2HitLat + h.busQueue(&h.l2BusFree, now, h.cfg.L2BusyCycles), true
+	}
+	lat = h.cfg.L2MissLat + h.busQueue(&h.l2BusFree, now, h.cfg.L2BusyCycles)
+	return lat + h.busQueue(&h.memBusFree, now, h.cfg.MemBusyCycles), true
+}
+
+// busQueue reserves one occupancy slot on a bus and returns the queueing
+// delay the requester observes.
+func (h *Hierarchy) busQueue(busFree *int64, now int64, busy int) int {
+	start := now
+	if *busFree > start {
+		start = *busFree
+	}
+	*busFree = start + int64(busy)
+	return int(start - now)
+}
+
+// TLB is a fully associative translation buffer with LRU replacement over
+// 4 KB pages (Table 3: 128 entries). Its timing effect is folded into cache
+// latencies; it exists for structural fidelity and statistics.
+type TLB struct {
+	pages []uint64
+	age   []uint32
+	// Stats.
+	Accesses uint64
+	Misses   uint64
+}
+
+// NewTLB builds a TLB with n entries.
+func NewTLB(n int) *TLB {
+	if n < 1 {
+		n = 1
+	}
+	return &TLB{pages: make([]uint64, n), age: make([]uint32, n)}
+}
+
+// Access translates addr (4 KB pages), returning whether it hit.
+func (t *TLB) Access(addr uint64) bool {
+	t.Accesses++
+	page := addr>>12 | 1<<63 // bias so valid entries are never zero
+	victim, worst := 0, uint32(0)
+	for i := range t.pages {
+		if t.pages[i] == page {
+			t.touch(i)
+			return true
+		}
+		if t.pages[i] == 0 {
+			victim, worst = i, ^uint32(0)
+			continue
+		}
+		if t.age[i] >= worst && worst != ^uint32(0) {
+			victim, worst = i, t.age[i]
+		}
+	}
+	t.Misses++
+	t.pages[victim] = page
+	t.touch(victim)
+	return false
+}
+
+func (t *TLB) touch(i int) {
+	for j := range t.age {
+		if t.age[j] < ^uint32(0) {
+			t.age[j]++
+		}
+	}
+	t.age[i] = 0
+}

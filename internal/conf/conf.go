@@ -1,0 +1,124 @@
+// Package conf implements branch-prediction confidence estimation and the
+// four-way confidence categorization at the heart of Selective Throttling.
+//
+// Two estimators are provided, matching the paper's Section 4.3:
+//
+//   - JRS: Jacobsen/Rotenberg/Smith resetting counters ("ones counters") with
+//     a miss-distance-counter (MDC) threshold. Used by the Pipeline Gating
+//     baseline with an 8 KB table and MDC threshold 12 (SPEC ≈ 90 %,
+//     PVN ≈ 24 % on the paper's benchmarks).
+//
+//   - BPRU-style: the estimator the paper adapts from the Branch Prediction
+//     Reversal Unit — a *tagged* table of 3-bit up/down saturating counters.
+//     Counter values map to the four classes (0-1 VHC, 2-3 HC, 4-5 LC,
+//     6-7 VLC); on a table miss the underlying predictor's two-bit counter
+//     provides the fallback estimate (weak states ⇒ LC, strong ⇒ HC),
+//     which is the paper's modification to raise SPEC at some PVN cost
+//     (target operating point SPEC ≈ 60 %, PVN ≈ 45 %).
+//
+// Both estimators are instrumented: Quality (SPEC/PVN) is computed over the
+// classic two-way split where {LC, VLC} counts as "low confidence".
+package conf
+
+import "selthrottle/internal/bpred"
+
+// Class is a branch-prediction confidence class, ordered from most to least
+// confident. The ordering is significant: throttling policies map classes to
+// monotonically more aggressive heuristics.
+type Class uint8
+
+// Confidence classes (paper §4.2).
+const (
+	VHC Class = iota // very-high confidence
+	HC               // high confidence
+	LC               // low confidence
+	VLC              // very-low confidence
+	NumClasses
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case VHC:
+		return "VHC"
+	case HC:
+		return "HC"
+	case LC:
+		return "LC"
+	case VLC:
+		return "VLC"
+	default:
+		return "?"
+	}
+}
+
+// Low reports whether the class is low-confidence in the classic two-way
+// sense used for SPEC/PVN and Pipeline Gating.
+func (c Class) Low() bool { return c == LC || c == VLC }
+
+// Estimator assigns a confidence class to each branch prediction and is
+// trained with resolved outcomes.
+type Estimator interface {
+	// Estimate returns the confidence class of the prediction for pc.
+	// predCtr is the two-bit counter state the direction prediction came
+	// from (fallback source for tagged estimators).
+	Estimate(pc uint64, predCtr bpred.Counter2) Class
+	// Train updates the estimator with the resolution of a branch:
+	// correct is true when the direction prediction was right.
+	Train(pc uint64, correct bool)
+	// SizeBytes reports the modeled storage.
+	SizeBytes() int
+}
+
+// Quality accumulates the standard confidence metrics (Grunwald et al.):
+//
+//	SPEC = fraction of mispredictions labeled low confidence,
+//	PVN  = fraction of low-confidence labels that are mispredictions.
+type Quality struct {
+	Mispred       uint64 // total mispredictions observed
+	MispredLow    uint64 // mispredictions labeled LC/VLC
+	LowLabeled    uint64 // predictions labeled LC/VLC
+	Total         uint64 // all predictions observed
+	PerClassTotal [NumClasses]uint64
+	PerClassWrong [NumClasses]uint64
+}
+
+// Record adds one resolved prediction with its label.
+func (q *Quality) Record(class Class, correct bool) {
+	q.Total++
+	q.PerClassTotal[class]++
+	if class.Low() {
+		q.LowLabeled++
+	}
+	if !correct {
+		q.Mispred++
+		q.PerClassWrong[class]++
+		if class.Low() {
+			q.MispredLow++
+		}
+	}
+}
+
+// SPEC returns the SPEC metric in [0,1].
+func (q *Quality) SPEC() float64 {
+	if q.Mispred == 0 {
+		return 0
+	}
+	return float64(q.MispredLow) / float64(q.Mispred)
+}
+
+// PVN returns the PVN metric in [0,1].
+func (q *Quality) PVN() float64 {
+	if q.LowLabeled == 0 {
+		return 0
+	}
+	return float64(q.MispredLow) / float64(q.LowLabeled)
+}
+
+// LowFrac returns the fraction of predictions labeled low confidence.
+func (q *Quality) LowFrac() float64 {
+	if q.Total == 0 {
+		return 0
+	}
+	return float64(q.LowLabeled) / float64(q.Total)
+}

@@ -1,0 +1,192 @@
+package conf
+
+import (
+	"testing"
+	"testing/quick"
+
+	"selthrottle/internal/bpred"
+)
+
+func TestClassOrderingAndLow(t *testing.T) {
+	if !(VHC < HC && HC < LC && LC < VLC) {
+		t.Fatal("class ordering broken")
+	}
+	if VHC.Low() || HC.Low() || !LC.Low() || !VLC.Low() {
+		t.Fatal("Low() misclassifies")
+	}
+}
+
+func TestQualityMetrics(t *testing.T) {
+	var q Quality
+	// 10 predictions: 4 labeled low (3 of them wrong), 6 high (1 wrong).
+	for i := 0; i < 3; i++ {
+		q.Record(LC, false)
+	}
+	q.Record(VLC, true)
+	for i := 0; i < 5; i++ {
+		q.Record(HC, true)
+	}
+	q.Record(VHC, false)
+
+	if q.Total != 10 || q.Mispred != 4 || q.LowLabeled != 4 {
+		t.Fatalf("counts: %+v", q)
+	}
+	if got := q.SPEC(); got != 0.75 {
+		t.Fatalf("SPEC = %v, want 0.75", got)
+	}
+	if got := q.PVN(); got != 0.75 {
+		t.Fatalf("PVN = %v, want 0.75", got)
+	}
+	if got := q.LowFrac(); got != 0.4 {
+		t.Fatalf("LowFrac = %v, want 0.4", got)
+	}
+}
+
+func TestQualityEmptySafe(t *testing.T) {
+	var q Quality
+	if q.SPEC() != 0 || q.PVN() != 0 || q.LowFrac() != 0 {
+		t.Fatal("empty quality not zero")
+	}
+}
+
+func TestJRSResetBehaviour(t *testing.T) {
+	j := NewJRS(8<<10, 12)
+	pc := uint64(0x400100)
+	// Fresh entry: counter 0 => VLC.
+	if c := j.Estimate(pc, 0); c != VLC {
+		t.Fatalf("fresh JRS entry classified %v", c)
+	}
+	// After 12 correct predictions, high confidence.
+	for i := 0; i < 12; i++ {
+		j.Train(pc, true)
+	}
+	if c := j.Estimate(pc, 0); c.Low() {
+		t.Fatalf("after 12 correct, classified %v", c)
+	}
+	// Saturate: VHC.
+	for i := 0; i < 10; i++ {
+		j.Train(pc, true)
+	}
+	if c := j.Estimate(pc, 0); c != VHC {
+		t.Fatalf("saturated JRS classified %v", c)
+	}
+	// A single misprediction resets to VLC.
+	j.Train(pc, false)
+	if c := j.Estimate(pc, 0); c != VLC {
+		t.Fatalf("after reset, classified %v", c)
+	}
+}
+
+func TestJRSTwoWayBoundaryMatchesThreshold(t *testing.T) {
+	j := NewJRS(8<<10, 12)
+	pc := uint64(0x400200)
+	for i := 0; i < 11; i++ {
+		j.Train(pc, true)
+	}
+	if c := j.Estimate(pc, 0); !c.Low() {
+		t.Fatal("counter 11 (< MDC 12) must be low confidence")
+	}
+	j.Train(pc, true)
+	if c := j.Estimate(pc, 0); c.Low() {
+		t.Fatal("counter 12 (== MDC) must be high confidence")
+	}
+}
+
+func TestBPRUBandsAndDynamics(t *testing.T) {
+	b := NewBPRU(8 << 10)
+	pc := uint64(0x400300)
+	// Allocate via a misprediction: lands in the LC band.
+	b.Train(pc, false)
+	if c := b.Estimate(pc, 0); !c.Low() {
+		t.Fatalf("after allocation on a miss, classified %v", c)
+	}
+	// Sustained mispredictions saturate into VLC.
+	for i := 0; i < 10; i++ {
+		b.Train(pc, false)
+	}
+	if c := b.Estimate(pc, 0); c != VLC {
+		t.Fatalf("saturated BPRU classified %v", c)
+	}
+	// Sustained correct predictions decay to VHC.
+	for i := 0; i < 20; i++ {
+		b.Train(pc, true)
+	}
+	if c := b.Estimate(pc, 0); c != VHC {
+		t.Fatalf("decayed BPRU classified %v", c)
+	}
+}
+
+func TestBPRUFallbackUsesPredictorCounter(t *testing.T) {
+	b := NewBPRU(8 << 10)
+	pc := uint64(0x99999000) // never trained: table miss
+	if c := b.Estimate(pc, bpred.Counter2(1)); c != LC {
+		t.Fatalf("weak counter fallback = %v, want LC", c)
+	}
+	if c := b.Estimate(pc, bpred.Counter2(3)); c != HC {
+		t.Fatalf("strong counter fallback = %v, want HC", c)
+	}
+}
+
+func TestBPRUTagIsolation(t *testing.T) {
+	b := NewBPRU(8 << 10)
+	pcA := uint64(0x400400)
+	pcB := uint64(0x400408)
+	for i := 0; i < 10; i++ {
+		b.Train(pcA, false)
+	}
+	// pcB unseen: must fall back, not read pcA's entry.
+	if c := b.Estimate(pcB, bpred.Counter2(3)); c == VLC {
+		t.Fatal("tag mismatch leaked another branch's counter")
+	}
+}
+
+func TestBPRUCounterBounds(t *testing.T) {
+	b := NewBPRU(1 << 10)
+	err := quick.Check(func(pcSeed uint16, outcomes []bool) bool {
+		pc := uint64(pcSeed)<<3 + 0x400000
+		for _, o := range outcomes {
+			b.Train(pc, o)
+		}
+		c := b.Estimate(pc, 0)
+		return c <= VLC
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaticEstimator(t *testing.T) {
+	s := Static{Class: VLC}
+	if s.Estimate(0x1234, 0) != VLC {
+		t.Fatal("static estimator changed class")
+	}
+	s.Train(0x1234, false) // must be a no-op
+	if s.Estimate(0x1234, 0) != VLC {
+		t.Fatal("static estimator trained")
+	}
+	if s.SizeBytes() != 0 {
+		t.Fatal("static estimator claims storage")
+	}
+}
+
+func TestSizeBytesApproximatesBudget(t *testing.T) {
+	for _, kb := range []int{4, 8, 16, 32} {
+		j := NewJRS(kb<<10, 12)
+		if j.SizeBytes() != kb<<10 {
+			t.Errorf("JRS %d KB reports %d bytes", kb, j.SizeBytes())
+		}
+		b := NewBPRU(kb << 10)
+		if b.SizeBytes() > kb<<10 || b.SizeBytes() < kb<<10/2 {
+			t.Errorf("BPRU %d KB reports %d bytes", kb, b.SizeBytes())
+		}
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	names := map[Class]string{VHC: "VHC", HC: "HC", LC: "LC", VLC: "VLC"}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("%v.String() = %q", c, c.String())
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package conf
+
+import "selthrottle/internal/bpred"
+
+// JRS is the Jacobsen/Rotenberg/Smith confidence estimator: a table of
+// n-bit resetting counters, incremented (saturating) on a correct prediction
+// and reset to zero on a misprediction. A prediction is high-confidence when
+// its counter has reached the miss-distance-counter (MDC) threshold.
+//
+// The paper's Pipeline Gating baseline uses an 8 KB JRS table with 4-bit
+// counters and MDC threshold 12 (its best configuration from Manne et al.).
+//
+// JRS natively yields a two-way high/low split; the four-way categorization
+// required by Selective Throttling divides each side by counter distance
+// from the threshold, preserving the two-way boundary (Class.Low is
+// unchanged with respect to the original scheme).
+type JRS struct {
+	table      []uint8
+	counterMax uint8
+	threshold  uint8
+}
+
+var _ Estimator = (*JRS)(nil)
+
+// NewJRS builds a JRS estimator. sizeBytes is the table budget with two
+// 4-bit counters per byte (8 KB ⇒ 16 K counters); threshold is the MDC
+// threshold (12 in the paper).
+func NewJRS(sizeBytes int, threshold int) *JRS {
+	entries := sizeBytes * 2
+	if entries < 16 {
+		entries = 16
+	}
+	p := 1
+	for p*2 <= entries {
+		p *= 2
+	}
+	return &JRS{
+		table:      make([]uint8, p),
+		counterMax: 15,
+		threshold:  uint8(threshold),
+	}
+}
+
+func (j *JRS) index(pc uint64) int {
+	return int((pc >> 3) & uint64(len(j.table)-1))
+}
+
+// Estimate implements Estimator. The two-way split is counter >= threshold
+// ⇒ high confidence; the four-way refinement splits on counter distance:
+//
+//	counter == max                  ⇒ VHC
+//	threshold <= counter < max      ⇒ HC
+//	threshold/2 <= counter < thresh ⇒ LC
+//	counter < threshold/2           ⇒ VLC
+func (j *JRS) Estimate(pc uint64, _ bpred.Counter2) Class {
+	c := j.table[j.index(pc)]
+	switch {
+	case c >= j.counterMax:
+		return VHC
+	case c >= j.threshold:
+		return HC
+	case c >= j.threshold/2:
+		return LC
+	default:
+		return VLC
+	}
+}
+
+// Train implements Estimator.
+func (j *JRS) Train(pc uint64, correct bool) {
+	i := j.index(pc)
+	if correct {
+		if j.table[i] < j.counterMax {
+			j.table[i]++
+		}
+	} else {
+		j.table[i] = 0
+	}
+}
+
+// SizeBytes implements Estimator.
+func (j *JRS) SizeBytes() int { return len(j.table) / 2 }

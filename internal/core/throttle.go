@@ -1,0 +1,354 @@
+// Package core implements the paper's primary contribution: Selective
+// Throttling — confidence-driven, graded throttling of the fetch, decode,
+// and selection stages of an out-of-order processor — plus the Pipeline
+// Gating baseline (Manne et al.) and the oracle speculation-control modes
+// used in the paper's limit study (Section 3).
+//
+// The package is pure control logic: the pipeline (internal/pipe) notifies
+// the Controller when conditional branches are predicted, resolved, and
+// squashed, and queries it each cycle for the effective fetch/decode rate
+// and for no-select blocking decisions. This separation lets every policy
+// rule be unit-tested without a pipeline.
+package core
+
+import (
+	"fmt"
+
+	"selthrottle/internal/conf"
+)
+
+// Rate is a front-end bandwidth level. The paper's heuristics alternate
+// full-activity cycles with stalled cycles: half keeps 1 cycle in 2 active,
+// quarter 1 in 4, stall none (Section 4.1).
+type Rate uint8
+
+// Bandwidth levels, ordered from least to most restrictive. The ordering is
+// load-bearing: the controller escalates to the maximum of the active set.
+const (
+	RateFull Rate = iota
+	RateHalf
+	RateQuarter
+	RateStall
+)
+
+// String implements fmt.Stringer using the paper's notation.
+func (r Rate) String() string {
+	switch r {
+	case RateFull:
+		return "1/1"
+	case RateHalf:
+		return "1/2"
+	case RateQuarter:
+		return "1/4"
+	case RateStall:
+		return "0"
+	default:
+		return fmt.Sprintf("rate(%d)", uint8(r))
+	}
+}
+
+// ActiveAt reports whether a stage throttled at r performs work during the
+// given cycle. Full activity cycles alternate with stalled cycles: half is
+// active on even phases, quarter one phase in four.
+func (r Rate) ActiveAt(cycle uint64) bool {
+	switch r {
+	case RateFull:
+		return true
+	case RateHalf:
+		return cycle%2 == 0
+	case RateQuarter:
+		return cycle%4 == 0
+	default:
+		return false
+	}
+}
+
+// DutyCycle returns the fraction of cycles the stage stays active.
+func (r Rate) DutyCycle() float64 {
+	switch r {
+	case RateFull:
+		return 1
+	case RateHalf:
+		return 0.5
+	case RateQuarter:
+		return 0.25
+	default:
+		return 0
+	}
+}
+
+// maxRate returns the more restrictive of two rates.
+func maxRate(a, b Rate) Rate {
+	if b > a {
+		return b
+	}
+	return a
+}
+
+// Spec is the heuristic bundle triggered by one confidence class: fetch and
+// decode bandwidth levels plus the novel selection-throttling bit.
+type Spec struct {
+	Fetch    Rate
+	Decode   Rate
+	NoSelect bool
+}
+
+// IsNop reports whether the spec imposes no restriction at all (such specs
+// never register triggers).
+func (s Spec) IsNop() bool {
+	return s.Fetch == RateFull && s.Decode == RateFull && !s.NoSelect
+}
+
+// String renders the spec in the paper's experiment notation.
+func (s Spec) String() string {
+	out := fmt.Sprintf("fetch %s, decode %s", s.Fetch, s.Decode)
+	if s.NoSelect {
+		out += ", noselect"
+	}
+	return out
+}
+
+// Policy maps each confidence class to its heuristic. The zero Policy
+// throttles nothing (the baseline).
+type Policy struct {
+	Name    string
+	ByClass [conf.NumClasses]Spec
+
+	// Gating switches the controller to Pipeline Gating semantics: the
+	// ByClass specs are ignored and fetch is fully stalled while the
+	// number of unresolved low-confidence (LC/VLC) branches reaches
+	// GateThreshold (2 in the paper's baseline configuration).
+	Gating        bool
+	GateThreshold int
+}
+
+// Baseline returns the no-throttling policy.
+func Baseline() Policy { return Policy{Name: "baseline"} }
+
+// PipelineGating returns Manne et al.'s scheme with the given gating
+// threshold (the paper uses 2, with a JRS estimator).
+func PipelineGating(threshold int) Policy {
+	return Policy{Name: "pipeline-gating", Gating: true, GateThreshold: threshold}
+}
+
+// Selective builds a Selective Throttling policy from the LC and VLC specs
+// (the paper's experiments leave VHC/HC unthrottled).
+func Selective(name string, lc, vlc Spec) Policy {
+	p := Policy{Name: name}
+	p.ByClass[conf.LC] = lc
+	p.ByClass[conf.VLC] = vlc
+	return p
+}
+
+// trigger is one unresolved conditional branch that initiated a heuristic.
+type trigger struct {
+	seq     uint64
+	spec    Spec
+	lowConf bool
+}
+
+// Controller tracks the set of in-flight trigger branches and answers the
+// pipeline's per-cycle throttling questions. It implements the paper's
+// escalation rule by construction: the effective rate is the most
+// restrictive across active triggers, so a later VLC branch tightens an
+// active LC heuristic but a later weak trigger never relaxes a strong one.
+type Controller struct {
+	policy Policy
+
+	// triggers is ordered by seq (branches are predicted in fetch order;
+	// squash removes a suffix, resolution removes arbitrary elements).
+	triggers []trigger
+
+	// noSelect holds the seqs of unresolved NoSelect triggers, ascending.
+	noSelect []uint64
+
+	lowCount int // unresolved low-confidence branches (Pipeline Gating)
+
+	// Stats.
+	Triggered   uint64 // heuristic initiations
+	GatedCycles uint64 // cycles with fetch not fully active
+}
+
+// NewController builds a controller for a policy.
+func NewController(p Policy) *Controller {
+	return &Controller{policy: p}
+}
+
+// Policy returns the active policy.
+func (c *Controller) Policy() Policy { return c.policy }
+
+// OnBranchPredicted registers a conditional branch prediction with its
+// confidence class and returns the spec it triggered (zero Spec when none).
+// seq values must be strictly increasing across calls, matching fetch order.
+func (c *Controller) OnBranchPredicted(seq uint64, class conf.Class) Spec {
+	if c.policy.Gating {
+		if class.Low() {
+			c.lowCount++
+			c.triggers = append(c.triggers, trigger{seq: seq, lowConf: true})
+			c.Triggered++
+		}
+		return Spec{}
+	}
+	spec := c.policy.ByClass[class]
+	if spec.IsNop() {
+		return Spec{}
+	}
+	c.triggers = append(c.triggers, trigger{seq: seq, spec: spec})
+	if spec.NoSelect {
+		c.noSelect = append(c.noSelect, seq)
+	}
+	c.Triggered++
+	return spec
+}
+
+// OnBranchResolved removes the trigger for seq, if any (branches resolve out
+// of order).
+func (c *Controller) OnBranchResolved(seq uint64) {
+	for i := range c.triggers {
+		if c.triggers[i].seq == seq {
+			if c.triggers[i].lowConf {
+				c.lowCount--
+			}
+			c.triggers = append(c.triggers[:i], c.triggers[i+1:]...)
+			break
+		}
+	}
+	c.removeNoSelect(seq)
+}
+
+// OnSquash removes every trigger younger than seq (their branches were
+// squashed and will never resolve).
+func (c *Controller) OnSquash(seq uint64) {
+	keep := c.triggers[:0]
+	for _, t := range c.triggers {
+		if t.seq <= seq {
+			keep = append(keep, t)
+		} else if t.lowConf {
+			c.lowCount--
+		}
+	}
+	c.triggers = keep
+	ns := c.noSelect[:0]
+	for _, s := range c.noSelect {
+		if s <= seq {
+			ns = append(ns, s)
+		}
+	}
+	c.noSelect = ns
+}
+
+func (c *Controller) removeNoSelect(seq uint64) {
+	for i, s := range c.noSelect {
+		if s == seq {
+			c.noSelect = append(c.noSelect[:i], c.noSelect[i+1:]...)
+			return
+		}
+	}
+}
+
+// FetchRate returns the current effective fetch bandwidth level.
+func (c *Controller) FetchRate() Rate {
+	if c.policy.Gating {
+		if c.lowCount >= c.policy.GateThreshold && c.policy.GateThreshold > 0 {
+			return RateStall
+		}
+		return RateFull
+	}
+	r := RateFull
+	for _, t := range c.triggers {
+		r = maxRate(r, t.spec.Fetch)
+	}
+	return r
+}
+
+// DecodeRate returns the current effective decode bandwidth level across
+// all active triggers (used for reporting; the pipeline uses DecodeRateFor).
+func (c *Controller) DecodeRate() Rate {
+	if c.policy.Gating {
+		return RateFull
+	}
+	r := RateFull
+	for _, t := range c.triggers {
+		r = maxRate(r, t.spec.Decode)
+	}
+	return r
+}
+
+// DecodeRateFor returns the decode bandwidth level that applies to the
+// instruction with the given seq: only triggers *older* than the
+// instruction restrict it. The trigger branch itself (and anything fetched
+// before it) must keep flowing through decode, or a full decode stall would
+// park the branch in the front end forever and deadlock the machine — the
+// hardware analogue is that gating logic sits after the trigger branch's
+// own pipeline slot.
+func (c *Controller) DecodeRateFor(seq uint64) Rate {
+	if c.policy.Gating {
+		return RateFull
+	}
+	r := RateFull
+	for _, t := range c.triggers {
+		if t.seq < seq {
+			r = maxRate(r, t.spec.Decode)
+		}
+	}
+	return r
+}
+
+// BarrierFor returns the seq of the youngest active NoSelect trigger older
+// than the instruction with the given seq; the instruction records it at
+// dispatch and stays unselectable while any NoSelect trigger at or below the
+// barrier is unresolved. ok is false when no older trigger is active (the
+// instruction is not control-dependent on any unresolved NoSelect branch).
+func (c *Controller) BarrierFor(seq uint64) (barrier uint64, ok bool) {
+	// noSelect is ascending; scan from the young end (it is short).
+	for i := len(c.noSelect) - 1; i >= 0; i-- {
+		if c.noSelect[i] < seq {
+			return c.noSelect[i], true
+		}
+	}
+	return 0, false
+}
+
+// Blocked reports whether an instruction dispatched under barrier is still
+// barred from selection: true while the oldest unresolved NoSelect trigger
+// is at or below the barrier.
+func (c *Controller) Blocked(barrier uint64) bool {
+	return len(c.noSelect) > 0 && c.noSelect[0] <= barrier
+}
+
+// ActiveTriggers reports how many trigger branches are unresolved (tests).
+func (c *Controller) ActiveTriggers() int { return len(c.triggers) }
+
+// NoteGatedCycle lets the pipeline record a cycle in which fetch ran below
+// full bandwidth, for the engagement statistics in reports.
+func (c *Controller) NoteGatedCycle() { c.GatedCycles++ }
+
+// Oracle selects one of the limit-study modes of Section 3. The oracle
+// knows, at fetch time, whether a prediction is wrong; each mode suppresses
+// exactly one stage's processing of wrong-path instructions while still
+// paying the normal branch-resolution latency.
+type Oracle uint8
+
+// Oracle modes.
+const (
+	OracleNone   Oracle = iota
+	OracleFetch         // never fetch the mis-speculated path (stall instead)
+	OracleDecode        // fetch normally, never decode wrong-path instructions
+	OracleSelect        // fetch+decode normally, never select wrong-path instructions
+)
+
+// String implements fmt.Stringer.
+func (o Oracle) String() string {
+	switch o {
+	case OracleNone:
+		return "none"
+	case OracleFetch:
+		return "oracle-fetch"
+	case OracleDecode:
+		return "oracle-decode"
+	case OracleSelect:
+		return "oracle-select"
+	default:
+		return fmt.Sprintf("oracle(%d)", uint8(o))
+	}
+}

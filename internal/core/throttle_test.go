@@ -1,0 +1,305 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"selthrottle/internal/conf"
+)
+
+func TestRateDutyCycles(t *testing.T) {
+	// The measured duty cycle over a window must equal the nominal one —
+	// the paper's bandwidth reduction alternates full and stalled cycles.
+	for _, r := range []Rate{RateFull, RateHalf, RateQuarter, RateStall} {
+		active := 0
+		n := 1000
+		for c := 0; c < n; c++ {
+			if r.ActiveAt(uint64(c)) {
+				active++
+			}
+		}
+		got := float64(active) / float64(n)
+		if got != r.DutyCycle() {
+			t.Errorf("%v duty cycle %v, want %v", r, got, r.DutyCycle())
+		}
+	}
+}
+
+func TestRateOrdering(t *testing.T) {
+	if !(RateFull < RateHalf && RateHalf < RateQuarter && RateQuarter < RateStall) {
+		t.Fatal("rate restrictiveness ordering broken")
+	}
+	if maxRate(RateHalf, RateStall) != RateStall || maxRate(RateStall, RateHalf) != RateStall {
+		t.Fatal("maxRate wrong")
+	}
+}
+
+func TestSpecIsNop(t *testing.T) {
+	if !(Spec{}).IsNop() {
+		t.Fatal("zero spec should be nop")
+	}
+	if (Spec{Fetch: RateHalf}).IsNop() || (Spec{NoSelect: true}).IsNop() {
+		t.Fatal("non-trivial specs classified nop")
+	}
+}
+
+func TestControllerBaselineNeverThrottles(t *testing.T) {
+	c := NewController(Baseline())
+	for seq := uint64(1); seq < 100; seq++ {
+		c.OnBranchPredicted(seq, conf.VLC)
+	}
+	if c.FetchRate() != RateFull || c.DecodeRate() != RateFull {
+		t.Fatal("baseline policy throttled")
+	}
+	if c.ActiveTriggers() != 0 {
+		t.Fatal("baseline policy registered triggers")
+	}
+}
+
+func TestControllerClassMapping(t *testing.T) {
+	p := Selective("t", Spec{Fetch: RateQuarter}, Spec{Fetch: RateStall})
+	c := NewController(p)
+	c.OnBranchPredicted(1, conf.HC)
+	if c.FetchRate() != RateFull {
+		t.Fatal("HC triggered a heuristic")
+	}
+	c.OnBranchPredicted(2, conf.LC)
+	if c.FetchRate() != RateQuarter {
+		t.Fatal("LC did not trigger fetch/4")
+	}
+	c.OnBranchResolved(2)
+	if c.FetchRate() != RateFull {
+		t.Fatal("resolution did not release the throttle")
+	}
+}
+
+func TestEscalationRule(t *testing.T) {
+	// A later VLC tightens an active LC heuristic; resolving the VLC
+	// while the LC is still unresolved falls back to the LC level —
+	// never below the most restrictive *active* trigger.
+	p := Selective("t", Spec{Fetch: RateQuarter}, Spec{Fetch: RateStall})
+	c := NewController(p)
+	c.OnBranchPredicted(10, conf.LC)
+	if c.FetchRate() != RateQuarter {
+		t.Fatal("LC trigger missing")
+	}
+	c.OnBranchPredicted(11, conf.VLC)
+	if c.FetchRate() != RateStall {
+		t.Fatal("VLC did not escalate")
+	}
+	// A later, weaker trigger must not relax the stall.
+	c.OnBranchPredicted(12, conf.LC)
+	if c.FetchRate() != RateStall {
+		t.Fatal("weaker trigger relaxed the throttle")
+	}
+	c.OnBranchResolved(11)
+	if c.FetchRate() != RateQuarter {
+		t.Fatal("after VLC resolution the LC level should remain")
+	}
+}
+
+func TestSquashRemovesYoungTriggers(t *testing.T) {
+	p := Selective("t", Spec{Fetch: RateQuarter}, Spec{Fetch: RateStall})
+	c := NewController(p)
+	c.OnBranchPredicted(10, conf.LC)
+	c.OnBranchPredicted(20, conf.VLC)
+	c.OnBranchPredicted(30, conf.VLC)
+	c.OnSquash(15) // branches 20 and 30 were wrong-path
+	if c.FetchRate() != RateQuarter {
+		t.Fatalf("after squash rate = %v, want 1/4", c.FetchRate())
+	}
+	if c.ActiveTriggers() != 1 {
+		t.Fatalf("triggers = %d, want 1", c.ActiveTriggers())
+	}
+}
+
+func TestDecodeRateIndependent(t *testing.T) {
+	p := Selective("t", Spec{Fetch: RateHalf, Decode: RateQuarter}, Spec{Fetch: RateStall})
+	c := NewController(p)
+	c.OnBranchPredicted(1, conf.LC)
+	if c.FetchRate() != RateHalf || c.DecodeRate() != RateQuarter {
+		t.Fatal("fetch/decode rates not independent")
+	}
+}
+
+func TestNoSelectBarrierSemantics(t *testing.T) {
+	p := Selective("t", Spec{Fetch: RateQuarter, NoSelect: true}, Spec{Fetch: RateStall})
+	c := NewController(p)
+
+	// No triggers: nothing blocked.
+	if _, ok := c.BarrierFor(100); ok {
+		t.Fatal("barrier without triggers")
+	}
+
+	c.OnBranchPredicted(50, conf.LC) // no-select trigger at seq 50
+
+	// An instruction OLDER than the trigger is not control-dependent.
+	if _, ok := c.BarrierFor(40); ok {
+		t.Fatal("older instruction got a barrier")
+	}
+	// A younger instruction is blocked while the trigger is unresolved.
+	barrier, ok := c.BarrierFor(60)
+	if !ok || barrier != 50 {
+		t.Fatalf("barrier = %d, %v", barrier, ok)
+	}
+	if !c.Blocked(barrier) {
+		t.Fatal("dependent instruction not blocked")
+	}
+	c.OnBranchResolved(50)
+	if c.Blocked(barrier) {
+		t.Fatal("resolution did not unblock")
+	}
+}
+
+func TestNoSelectMultipleTriggers(t *testing.T) {
+	p := Selective("t", Spec{NoSelect: true}, Spec{NoSelect: true})
+	c := NewController(p)
+	c.OnBranchPredicted(10, conf.LC)
+	c.OnBranchPredicted(20, conf.VLC)
+
+	// An instruction after both is blocked until both resolve (its barrier
+	// is the youngest older trigger).
+	barrier, _ := c.BarrierFor(25)
+	if barrier != 20 {
+		t.Fatalf("barrier = %d, want 20", barrier)
+	}
+	c.OnBranchResolved(20)
+	if !c.Blocked(barrier) {
+		t.Fatal("still-unresolved older trigger must keep blocking")
+	}
+	c.OnBranchResolved(10)
+	if c.Blocked(barrier) {
+		t.Fatal("all triggers resolved but still blocked")
+	}
+}
+
+func TestPipelineGatingThreshold(t *testing.T) {
+	c := NewController(PipelineGating(2))
+	c.OnBranchPredicted(1, conf.LC)
+	if c.FetchRate() != RateFull {
+		t.Fatal("gated below threshold")
+	}
+	c.OnBranchPredicted(2, conf.VLC)
+	if c.FetchRate() != RateStall {
+		t.Fatal("did not gate at threshold")
+	}
+	c.OnBranchPredicted(3, conf.HC) // high confidence: not counted
+	c.OnBranchResolved(1)
+	if c.FetchRate() != RateFull {
+		t.Fatal("did not release below threshold")
+	}
+	// Gating never touches decode.
+	c.OnBranchPredicted(4, conf.LC)
+	c.OnBranchPredicted(5, conf.LC)
+	if c.DecodeRate() != RateFull {
+		t.Fatal("pipeline gating throttled decode")
+	}
+}
+
+func TestPipelineGatingSquash(t *testing.T) {
+	c := NewController(PipelineGating(2))
+	c.OnBranchPredicted(1, conf.LC)
+	c.OnBranchPredicted(2, conf.LC)
+	if c.FetchRate() != RateStall {
+		t.Fatal("not gated")
+	}
+	c.OnSquash(1)
+	if c.FetchRate() != RateFull {
+		t.Fatal("squash did not release the gate")
+	}
+}
+
+func TestControllerPropertyRateNeverBelowActiveMax(t *testing.T) {
+	// Property: with an arbitrary interleaving of predictions and
+	// resolutions, the effective rate equals the max over active triggers.
+	p := Selective("t",
+		Spec{Fetch: RateQuarter, Decode: RateHalf, NoSelect: true},
+		Spec{Fetch: RateStall})
+	err := quick.Check(func(ops []uint8) bool {
+		c := NewController(p)
+		type tr struct {
+			seq  uint64
+			spec Spec
+		}
+		var active []tr
+		seq := uint64(0)
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				seq++
+				cl := conf.LC
+				if op%2 == 0 {
+					cl = conf.VLC
+				}
+				s := c.OnBranchPredicted(seq, cl)
+				if !s.IsNop() {
+					active = append(active, tr{seq, s})
+				}
+			case 1:
+				if len(active) > 0 {
+					i := int(op) % len(active)
+					c.OnBranchResolved(active[i].seq)
+					active = append(active[:i], active[i+1:]...)
+				}
+			case 2:
+				if len(active) > 0 {
+					cut := active[int(op)%len(active)].seq
+					c.OnSquash(cut)
+					keep := active[:0]
+					for _, a := range active {
+						if a.seq <= cut {
+							keep = append(keep, a)
+						}
+					}
+					active = keep
+				}
+			}
+			want := RateFull
+			for _, a := range active {
+				want = maxRate(want, a.spec.Fetch)
+			}
+			if c.FetchRate() != want {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOracleStrings(t *testing.T) {
+	for _, o := range []Oracle{OracleNone, OracleFetch, OracleDecode, OracleSelect} {
+		if o.String() == "" {
+			t.Errorf("oracle %d has empty name", o)
+		}
+	}
+}
+
+func TestPolicyConstructors(t *testing.T) {
+	if !Baseline().ByClass[conf.VLC].IsNop() {
+		t.Fatal("baseline has a VLC action")
+	}
+	pg := PipelineGating(2)
+	if !pg.Gating || pg.GateThreshold != 2 {
+		t.Fatal("pipeline gating constructor wrong")
+	}
+	s := Selective("x", Spec{Fetch: RateHalf}, Spec{Fetch: RateStall})
+	if s.ByClass[conf.LC].Fetch != RateHalf || s.ByClass[conf.VLC].Fetch != RateStall {
+		t.Fatal("selective constructor wrong")
+	}
+	if !s.ByClass[conf.HC].IsNop() || !s.ByClass[conf.VHC].IsNop() {
+		t.Fatal("selective constructor throttles high confidence")
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	s := Spec{Fetch: RateQuarter, Decode: RateStall, NoSelect: true}
+	if s.String() == "" {
+		t.Fatal("empty spec string")
+	}
+	if RateHalf.String() != "1/2" || RateStall.String() != "0" {
+		t.Fatal("rate strings deviate from paper notation")
+	}
+}

@@ -1,0 +1,200 @@
+// Package isa defines the synthetic instruction set used by the simulator.
+//
+// The reproduction target (HPCA-9 2003, Selective Throttling) evaluated on
+// SimpleScalar's Alpha-derived ISA. None of the paper's results depend on
+// instruction *semantics* — only on instruction classes (which functional
+// unit, which latency), register dependencies (which instructions wake up
+// which), memory behaviour (cache interaction), and control flow. This
+// package therefore defines exactly that skeleton: operation classes with
+// per-class functional-unit requirements and latencies, a small architectural
+// register file, and a compact dynamic-instruction record.
+package isa
+
+import "fmt"
+
+// Op is an operation class. Each class maps to one functional-unit kind and
+// one execution latency (Table 3 of the paper: 8 int ALU, 2 int mult,
+// 2 mem ports, 8 FP ALU, 1 FP mult).
+type Op uint8
+
+// Operation classes.
+const (
+	OpNop Op = iota
+	OpIntALU
+	OpIntMult
+	OpLoad
+	OpStore
+	OpFPAlu
+	OpFPMult
+	OpBranch // conditional branch
+	OpJump   // unconditional direct jump
+	OpCall   // direct call (pushes return address)
+	OpReturn // indirect return (pops return address)
+	NumOps   // sentinel: number of operation classes
+)
+
+// String implements fmt.Stringer for diagnostics and test output.
+func (op Op) String() string {
+	switch op {
+	case OpNop:
+		return "nop"
+	case OpIntALU:
+		return "ialu"
+	case OpIntMult:
+		return "imult"
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpFPAlu:
+		return "fpalu"
+	case OpFPMult:
+		return "fpmult"
+	case OpBranch:
+		return "br"
+	case OpJump:
+		return "jmp"
+	case OpCall:
+		return "call"
+	case OpReturn:
+		return "ret"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+}
+
+// FUKind identifies a functional-unit class.
+type FUKind uint8
+
+// Functional-unit classes, mirroring Table 3 of the paper.
+const (
+	FUIntALU FUKind = iota
+	FUIntMult
+	FUMemPort
+	FUFPAlu
+	FUFPMult
+	NumFUKinds // sentinel
+)
+
+// String implements fmt.Stringer.
+func (k FUKind) String() string {
+	switch k {
+	case FUIntALU:
+		return "int-alu"
+	case FUIntMult:
+		return "int-mult"
+	case FUMemPort:
+		return "mem-port"
+	case FUFPAlu:
+		return "fp-alu"
+	case FUFPMult:
+		return "fp-mult"
+	default:
+		return fmt.Sprintf("fu(%d)", uint8(k))
+	}
+}
+
+// FU returns the functional-unit class op executes on. Control-flow ops use
+// an integer ALU (branch condition evaluation), as in SimpleScalar.
+func (op Op) FU() FUKind {
+	switch op {
+	case OpIntMult:
+		return FUIntMult
+	case OpLoad, OpStore:
+		return FUMemPort
+	case OpFPAlu:
+		return FUFPAlu
+	case OpFPMult:
+		return FUFPMult
+	default:
+		return FUIntALU
+	}
+}
+
+// Latency returns the base execution latency of op in cycles, before any
+// pipeline-depth adjustment and excluding cache access time for memory ops.
+func (op Op) Latency() int {
+	switch op {
+	case OpIntMult:
+		return 3
+	case OpFPAlu:
+		return 2
+	case OpFPMult:
+		return 4
+	case OpLoad, OpStore:
+		return 1 // address generation; cache access is added by the core
+	default:
+		return 1
+	}
+}
+
+// IsControl reports whether op redirects the instruction stream.
+func (op Op) IsControl() bool {
+	switch op {
+	case OpBranch, OpJump, OpCall, OpReturn:
+		return true
+	}
+	return false
+}
+
+// IsCondBranch reports whether op is a conditional branch (the only class
+// that consumes a direction prediction and a confidence estimate).
+func (op Op) IsCondBranch() bool { return op == OpBranch }
+
+// IsMem reports whether op accesses data memory.
+func (op Op) IsMem() bool { return op == OpLoad || op == OpStore }
+
+// Register-file shape. 32 integer + 32 floating-point architectural
+// registers; RegNone marks an unused operand slot.
+const (
+	NumIntRegs = 32
+	NumFPRegs  = 32
+	NumRegs    = NumIntRegs + NumFPRegs
+	RegNone    = int8(-1)
+)
+
+// Static is one instruction of a program's static image: the operation class
+// and its register operands. Memory addresses and branch outcomes are
+// supplied dynamically by the workload generator.
+type Static struct {
+	Op   Op
+	Src1 int8 // architectural source register or RegNone
+	Src2 int8
+	Dest int8 // architectural destination register or RegNone
+}
+
+// NumSrcs returns how many source operands the instruction actually has.
+func (s Static) NumSrcs() int {
+	n := 0
+	if s.Src1 != RegNone {
+		n++
+	}
+	if s.Src2 != RegNone {
+		n++
+	}
+	return n
+}
+
+// Validate reports an error if the static instruction is malformed
+// (register indices out of range). Used by program-construction tests.
+func (s Static) Validate() error {
+	check := func(r int8, name string) error {
+		if r != RegNone && (r < 0 || int(r) >= NumRegs) {
+			return fmt.Errorf("isa: %s register %d out of range", name, r)
+		}
+		return nil
+	}
+	if err := check(s.Src1, "src1"); err != nil {
+		return err
+	}
+	if err := check(s.Src2, "src2"); err != nil {
+		return err
+	}
+	if err := check(s.Dest, "dest"); err != nil {
+		return err
+	}
+	if s.Op >= NumOps {
+		return fmt.Errorf("isa: invalid op %d", s.Op)
+	}
+	return nil
+}

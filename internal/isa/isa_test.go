@@ -1,0 +1,96 @@
+package isa
+
+import "testing"
+
+func TestOpFUMapping(t *testing.T) {
+	cases := []struct {
+		op Op
+		fu FUKind
+	}{
+		{OpIntALU, FUIntALU},
+		{OpIntMult, FUIntMult},
+		{OpLoad, FUMemPort},
+		{OpStore, FUMemPort},
+		{OpFPAlu, FUFPAlu},
+		{OpFPMult, FUFPMult},
+		{OpBranch, FUIntALU},
+		{OpJump, FUIntALU},
+	}
+	for _, c := range cases {
+		if got := c.op.FU(); got != c.fu {
+			t.Errorf("%v.FU() = %v, want %v", c.op, got, c.fu)
+		}
+	}
+}
+
+func TestLatenciesPositive(t *testing.T) {
+	for op := Op(0); op < NumOps; op++ {
+		if op.Latency() < 1 {
+			t.Errorf("%v latency %d < 1", op, op.Latency())
+		}
+	}
+	if OpIntMult.Latency() <= OpIntALU.Latency() {
+		t.Error("int mult should be slower than int alu")
+	}
+	if OpFPMult.Latency() <= OpFPAlu.Latency() {
+		t.Error("fp mult should be slower than fp alu")
+	}
+}
+
+func TestControlClassification(t *testing.T) {
+	control := map[Op]bool{OpBranch: true, OpJump: true, OpCall: true, OpReturn: true}
+	for op := Op(0); op < NumOps; op++ {
+		if op.IsControl() != control[op] {
+			t.Errorf("%v.IsControl() = %v", op, op.IsControl())
+		}
+	}
+	if !OpBranch.IsCondBranch() || OpJump.IsCondBranch() {
+		t.Error("IsCondBranch misclassifies")
+	}
+	if !OpLoad.IsMem() || !OpStore.IsMem() || OpIntALU.IsMem() {
+		t.Error("IsMem misclassifies")
+	}
+}
+
+func TestStaticValidate(t *testing.T) {
+	good := Static{Op: OpIntALU, Src1: 3, Src2: RegNone, Dest: 5}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid static rejected: %v", err)
+	}
+	bad := Static{Op: OpIntALU, Src1: 127, Src2: RegNone, Dest: 5}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range src accepted")
+	}
+	badOp := Static{Op: NumOps, Src1: RegNone, Src2: RegNone, Dest: RegNone}
+	if err := badOp.Validate(); err == nil {
+		t.Error("invalid op accepted")
+	}
+}
+
+func TestNumSrcs(t *testing.T) {
+	if (Static{Src1: 1, Src2: 2}).NumSrcs() != 2 {
+		t.Error("two sources not counted")
+	}
+	if (Static{Src1: 1, Src2: RegNone}).NumSrcs() != 1 {
+		t.Error("one source not counted")
+	}
+	if (Static{Src1: RegNone, Src2: RegNone}).NumSrcs() != 0 {
+		t.Error("zero sources not counted")
+	}
+}
+
+func TestStringsDistinct(t *testing.T) {
+	seen := map[string]Op{}
+	for op := Op(0); op < NumOps; op++ {
+		s := op.String()
+		if prev, dup := seen[s]; dup {
+			t.Errorf("ops %v and %v share name %q", prev, op, s)
+		}
+		seen[s] = op
+	}
+	for k := FUKind(0); k < NumFUKinds; k++ {
+		if k.String() == "" {
+			t.Errorf("FU %d has empty name", k)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package pipe
+
+import (
+	"fmt"
+
+	"selthrottle/internal/isa"
+)
+
+// CheckInvariants validates the core's internal consistency. It is called by
+// tests after aggressive flush/throttle activity; any violation is a
+// simulator bug, never a workload property.
+//
+// Invariants:
+//  1. The window is ordered by sequence number (age order).
+//  2. lsqUsed equals the number of memory operations in the window.
+//  3. The rename table maps each register to the youngest in-window
+//     producer of that register (or to nothing).
+//  4. Front-end queues hold only instructions younger than everything in
+//     the window, and are themselves age-ordered.
+//  5. No committed (retired) instruction lingers anywhere.
+func (p *Pipeline) CheckInvariants() error {
+	// 1 + 2: window order and LSQ accounting.
+	var prev uint64
+	lsq := 0
+	youngest := uint64(0)
+	for i := 0; i < p.window.Len(); i++ {
+		in := p.window.At(i)
+		if i > 0 && in.d.Seq <= prev {
+			return fmt.Errorf("window out of order at %d: %d after %d", i, in.d.Seq, prev)
+		}
+		prev = in.d.Seq
+		youngest = in.d.Seq
+		if in.isMem() {
+			lsq++
+		}
+		if in.squashed {
+			return fmt.Errorf("squashed instruction %d still in window", in.d.Seq)
+		}
+	}
+	if lsq != p.lsqUsed {
+		return fmt.Errorf("lsqUsed %d, window holds %d memory ops", p.lsqUsed, lsq)
+	}
+
+	// 3: rename table points at the youngest in-window producer.
+	var want [isa.NumRegs]*inst
+	for i := 0; i < p.window.Len(); i++ {
+		in := p.window.At(i)
+		if d := in.d.St.Dest; d != isa.RegNone {
+			want[d] = in
+		}
+	}
+	for r := range p.regs {
+		got := p.regs[r]
+		if got == nil {
+			continue // architecturally ready; always safe
+		}
+		if got.squashed {
+			return fmt.Errorf("rename table r%d points at a squashed instruction", r)
+		}
+		if want[r] != nil && got != want[r] {
+			return fmt.Errorf("rename table r%d points at seq %d, youngest producer is %d",
+				r, got.d.Seq, want[r].d.Seq)
+		}
+	}
+
+	// 4: front-end queues younger than the window, in order.
+	check := func(name string, q *ring[*inst]) error {
+		var qprev uint64
+		for i := 0; i < q.Len(); i++ {
+			in := q.At(i)
+			if in.d.Seq <= youngest && p.window.Len() > 0 {
+				return fmt.Errorf("%s holds seq %d not younger than window tail %d",
+					name, in.d.Seq, youngest)
+			}
+			if i > 0 && in.d.Seq <= qprev {
+				return fmt.Errorf("%s out of order at %d", name, i)
+			}
+			qprev = in.d.Seq
+			if in.squashed {
+				return fmt.Errorf("%s holds squashed seq %d", name, in.d.Seq)
+			}
+		}
+		return nil
+	}
+	if err := check("fetchQ", p.fetchQ); err != nil {
+		return err
+	}
+	if err := check("decodeQ", p.decodeQ); err != nil {
+		return err
+	}
+	return nil
+}

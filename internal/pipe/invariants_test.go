@@ -1,0 +1,72 @@
+package pipe
+
+import (
+	"testing"
+
+	"selthrottle/internal/conf"
+	"selthrottle/internal/core"
+)
+
+// TestInvariantsUnderStress steps the pipeline through heavy flush and
+// throttle activity, validating the full set of structural invariants every
+// few cycles. This is the repository's failure-injection net: any squash,
+// rename-rebuild, or queue bug trips it within a few hundred cycles.
+func TestInvariantsUnderStress(t *testing.T) {
+	configs := []struct {
+		name   string
+		policy core.Policy
+		oracle core.Oracle
+		depth  int
+	}{
+		{"baseline-14", core.Baseline(), core.OracleNone, 14},
+		{"baseline-6", core.Baseline(), core.OracleNone, 6},
+		{"baseline-28", core.Baseline(), core.OracleNone, 28},
+		{"c2-14", core.Selective("c2",
+			core.Spec{Fetch: core.RateQuarter, NoSelect: true},
+			core.Spec{Fetch: core.RateStall}), core.OracleNone, 14},
+		{"decode-stall", core.Selective("d0",
+			core.Spec{Decode: core.RateStall, NoSelect: true},
+			core.Spec{Fetch: core.RateStall, Decode: core.RateStall}), core.OracleNone, 14},
+		{"oracle-fetch", core.Baseline(), core.OracleFetch, 14},
+		{"oracle-select", core.Baseline(), core.OracleSelect, 14},
+		{"gating", core.PipelineGating(1), core.OracleNone, 20},
+	}
+	for _, cse := range configs {
+		cse := cse
+		t.Run(cse.name, func(t *testing.T) {
+			pl := build(t, "go", cse.policy, conf.NewBPRU(4<<10), cse.oracle)
+			pl.cfg.SetDepth(cse.depth)
+			for step := 0; step < 12000; step++ {
+				pl.Step()
+				if step%7 == 0 {
+					if err := pl.CheckInvariants(); err != nil {
+						t.Fatalf("cycle %d: %v", step, err)
+					}
+				}
+			}
+			if pl.Stats.Committed == 0 {
+				t.Fatal("no progress under stress")
+			}
+		})
+	}
+}
+
+// TestInvariantsAcrossBenchmarks sweeps every profile briefly.
+func TestInvariantsAcrossBenchmarks(t *testing.T) {
+	for _, name := range []string{"compress", "gcc", "go", "bzip2", "crafty", "gzip", "parser", "twolf"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			pl := build(t, name, core.Selective("mix",
+				core.Spec{Fetch: core.RateHalf, Decode: core.RateQuarter, NoSelect: true},
+				core.Spec{Fetch: core.RateStall}), nil, core.OracleNone)
+			for step := 0; step < 5000; step++ {
+				pl.Step()
+				if step%11 == 0 {
+					if err := pl.CheckInvariants(); err != nil {
+						t.Fatalf("cycle %d: %v", step, err)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,789 @@
+// Package pipe implements the cycle-level out-of-order superscalar core the
+// reproduction's experiments run on: the stand-in for the paper's modified
+// SimpleScalar/Wattch sim-outorder model.
+//
+// The core is an 8-wide machine with a parameterized in-order front end
+// (fetch and decode pipes whose depths set the overall pipeline length, 6-28
+// stages in the paper's sensitivity study), a unified RUU-style instruction
+// window with wakeup/select issue logic, a load/store queue, the functional
+// units of Table 3, and in-order commit. Branch mispredictions flush younger
+// work and restore the workload walker from the branch's checkpoint, so
+// recovery latency (front-end refill plus the configured extra penalty) is
+// emergent, exactly the property the paper's pipeline-depth sweep exploits.
+//
+// Throttling hooks: every cycle the core asks the Selective Throttling
+// controller (internal/core) for the effective fetch and decode rates, and
+// the select loop honors no-select barriers; oracle modes suppress a single
+// stage's processing of wrong-path instructions (Section 3's limit study).
+package pipe
+
+import (
+	"fmt"
+
+	"selthrottle/internal/bpred"
+	"selthrottle/internal/cache"
+	"selthrottle/internal/conf"
+	"selthrottle/internal/core"
+	"selthrottle/internal/isa"
+	"selthrottle/internal/power"
+	"selthrottle/internal/prog"
+)
+
+// Config holds the core's structural parameters. Default() reproduces
+// Table 3 with the paper's 14-stage baseline pipeline.
+type Config struct {
+	FetchWidth  int
+	DecodeWidth int
+	IssueWidth  int
+	CommitWidth int
+
+	WindowSize int // unified RUU / reorder buffer entries
+	LSQSize    int
+
+	FetchStages  int // in-order fetch pipe depth
+	DecodeStages int // in-order decode/rename pipe depth
+	ExtraExecLat int // added to every FU latency (depth sweep)
+
+	MaxTakenPerCycle int // taken control transfers per fetch cycle
+	MispredictExtra  int // extra recovery cycles (Table 3: 2)
+
+	FUCount [isa.NumFUKinds]int
+
+	Mem cache.Config
+
+	BTBEntries int
+	BTBWays    int
+	RASDepth   int
+
+	// PerfectDisambiguation disables load-store blocking entirely
+	// (ablation/diagnostic; the default address-matching model is the
+	// realistic one).
+	PerfectDisambiguation bool
+
+	Oracle core.Oracle
+}
+
+// Default returns the paper's Table 3 configuration at 14 pipeline stages.
+func Default() Config {
+	cfg := Config{
+		FetchWidth:  8,
+		DecodeWidth: 8,
+		IssueWidth:  8,
+		CommitWidth: 8,
+
+		WindowSize: 128,
+		LSQSize:    64,
+
+		MaxTakenPerCycle: 2,
+		MispredictExtra:  2,
+
+		Mem:        cache.Default(),
+		BTBEntries: 1024,
+		BTBWays:    2,
+		RASDepth:   32,
+	}
+	cfg.FUCount[isa.FUIntALU] = 8
+	cfg.FUCount[isa.FUIntMult] = 2
+	cfg.FUCount[isa.FUMemPort] = 2
+	cfg.FUCount[isa.FUFPAlu] = 8
+	cfg.FUCount[isa.FUFPMult] = 1
+	cfg.SetDepth(14)
+	return cfg
+}
+
+// SetDepth distributes a total fetch-to-commit pipeline depth across the
+// in-order front end, following the paper's §5.3.1 methodology: the
+// back end contributes a fixed four stages (issue, execute, writeback,
+// commit); the remainder splits evenly between the fetch and decode pipes;
+// and depths beyond the 14-stage baseline also lengthen execution and L1D
+// latencies (one extra cycle per seven additional stages).
+func (c *Config) SetDepth(total int) {
+	if total < 6 {
+		total = 6
+	}
+	front := total - 4
+	c.FetchStages = (front + 1) / 2
+	c.DecodeStages = front / 2
+	extra := 0
+	if total > 14 {
+		extra = (total - 14) / 7
+	}
+	c.ExtraExecLat = extra
+	c.Mem.L1HitLat = 1 + extra
+}
+
+// Depth reports the configured fetch-to-commit depth.
+func (c *Config) Depth() int { return c.FetchStages + c.DecodeStages + 4 }
+
+// inst is one in-flight dynamic instruction.
+type inst struct {
+	d prog.DynInst
+
+	// Branch prediction state.
+	predTaken bool
+	cookie    uint64
+	ctr       bpred.Counter2
+	class     conf.Class
+
+	// Selection throttling.
+	barrier    uint64
+	hasBarrier bool
+
+	// Pipeline timing.
+	enterDecode int64 // cycle at which decode may process it
+	enterWindow int64 // cycle at which dispatch may insert it
+
+	srcs [2]*inst // producers still in flight (nil = operand ready)
+
+	issued   bool
+	done     bool
+	squashed bool
+
+	fetchCycle  int64 // diagnostics: when fetched
+	windowCycle int64 // diagnostics: when dispatched into the window
+	issueCycle  int64 // diagnostics: when issued
+
+	// Per-unit activity attribution (moved to the wasted pool on squash).
+	ev [power.NumUnits]uint8
+}
+
+func (in *inst) isMem() bool  { return in.d.St.Op.IsMem() }
+func (in *inst) isLoad() bool { return in.d.St.Op == isa.OpLoad }
+
+// ready reports whether all source operands are available.
+func (in *inst) ready() bool {
+	for _, p := range in.srcs {
+		if p != nil && !p.done {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats accumulates the run's architectural statistics.
+type Stats struct {
+	Cycles    uint64
+	Committed uint64
+	Fetched   uint64
+
+	WrongPathFetched    uint64
+	WrongPathDecoded    uint64
+	WrongPathDispatched uint64
+	WrongPathIssued     uint64
+
+	CondBranches uint64 // committed conditional branches
+	Mispredicts  uint64 // committed mispredicted conditional branches
+
+	FetchGatedCycles  uint64 // fetch cycles suppressed by throttling
+	DecodeGatedCycles uint64
+	NoSelectStalls    uint64 // issue opportunities blocked by no-select
+
+	FetchIdleHeld         uint64 // cycles fetch idled on hold/recovery/miss
+	FetchIdleBackPressure uint64 // cycles fetch idled on front-end back-pressure
+
+	OracleHolds       uint64 // oracle-fetch holds initiated
+	TrueFlushes       uint64 // flushes triggered by correct-path branches
+	ResolveLatTotal   uint64 // summed fetch-to-flush latency of mispredicted branches
+	ResolveWindowWait uint64 // summed dispatch-to-flush latency
+	ResolveIssueWait  uint64 // summed dispatch-to-issue latency
+
+	Quality conf.Quality // confidence estimator quality (SPEC/PVN)
+}
+
+// IPC returns committed instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// MissRate returns the committed-branch misprediction rate.
+func (s *Stats) MissRate() float64 {
+	if s.CondBranches == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.CondBranches)
+}
+
+// Pipeline is one simulated core bound to a workload walker, a branch
+// predictor, a confidence estimator, and a throttle controller.
+type Pipeline struct {
+	cfg    Config
+	walker *prog.Walker
+	pred   bpred.DirPredictor
+	est    conf.Estimator
+	ctrl   *core.Controller
+	mem    *cache.Hierarchy
+	btb    *bpred.BTB
+	ras    *bpred.RAS
+	meter  *power.Meter
+
+	cycle int64
+
+	fetchQ  *ring[*inst]
+	decodeQ *ring[*inst]
+	window  *ring[*inst]
+	lsqUsed int
+
+	regs [isa.NumRegs]*inst // speculative rename table
+
+	// Completion schedule: compQ[cycle % len] holds instructions finishing
+	// execution that cycle.
+	compQ [][]*inst
+
+	wrongPath      bool   // fetch is currently beyond a mispredicted branch
+	fetchResumeAt  int64  // recovery / icache-miss gate on fetch
+	fetchHeldBySeq uint64 // oracle-fetch hold (0 = none)
+	fetchHeld      bool
+
+	unexecStores []uint64 // scratch for per-cycle memory disambiguation
+
+	// CommitTrace, when set, is invoked for every committed instruction
+	// (diagnostics and tests).
+	CommitTrace func(seq, pc uint64, cycle int64)
+
+	// DebugFlushes, when non-empty, dumps every correct-path misprediction
+	// flush with the given label prefix (development diagnostics).
+	DebugFlushes string
+
+	// DebugFetchLo/Hi bound a cycle window with verbose fetch logging.
+	DebugFetchLo, DebugFetchHi int64
+
+	flushCount int // counts true flushes for DebugFlushes selection
+
+	Stats Stats
+}
+
+// maxCompLat bounds scheduled completion latencies (exec + L2 miss + slack).
+const maxCompLat = 64
+
+// New builds a pipeline. All collaborators are injected so experiments can
+// swap predictors, estimators, policies, and oracle modes independently.
+func New(cfg Config, w *prog.Walker, pred bpred.DirPredictor, est conf.Estimator,
+	ctrl *core.Controller, meter *power.Meter) *Pipeline {
+	p := &Pipeline{
+		cfg:    cfg,
+		walker: w,
+		pred:   pred,
+		est:    est,
+		ctrl:   ctrl,
+		mem:    cache.NewHierarchy(cfg.Mem),
+		btb:    bpred.NewBTB(cfg.BTBEntries, cfg.BTBWays),
+		ras:    bpred.NewRAS(cfg.RASDepth),
+		meter:  meter,
+	}
+	p.fetchQ = newRing[*inst](cfg.FetchStages*cfg.FetchWidth + 2*cfg.FetchWidth)
+	p.decodeQ = newRing[*inst](cfg.DecodeStages*cfg.DecodeWidth + 2*cfg.DecodeWidth)
+	p.window = newRing[*inst](cfg.WindowSize)
+	p.compQ = make([][]*inst, maxCompLat)
+	return p
+}
+
+// Mem exposes the cache hierarchy (for reports).
+func (p *Pipeline) Mem() *cache.Hierarchy { return p.mem }
+
+// Cycle returns the current cycle number.
+func (p *Pipeline) Cycle() int64 { return p.cycle }
+
+// Run simulates until n instructions have committed and returns the stats.
+// It panics if the machine deadlocks (a pipeline bug, guarded by tests).
+func (p *Pipeline) Run(n uint64) *Stats {
+	lastCommit := p.Stats.Committed
+	stuck := 0
+	for p.Stats.Committed < n {
+		p.Step()
+		if p.Stats.Committed == lastCommit {
+			stuck++
+			if stuck > 100000 {
+				panic(fmt.Sprintf("pipe: no commit in 100000 cycles at cycle %d (window=%d fetchQ=%d decodeQ=%d)",
+					p.cycle, p.window.Len(), p.fetchQ.Len(), p.decodeQ.Len()))
+			}
+		} else {
+			stuck = 0
+			lastCommit = p.Stats.Committed
+		}
+	}
+	return &p.Stats
+}
+
+// Step advances the machine one cycle. Stages run back to front so that
+// same-cycle structural hazards resolve in program order.
+func (p *Pipeline) Step() {
+	p.commit()
+	p.complete()
+	p.issue()
+	p.dispatch()
+	p.decode()
+	p.fetch()
+	p.cycle++
+	p.meter.AddCycle()
+	p.Stats.Cycles++
+}
+
+// note records one activity event on unit u attributed to in.
+func (p *Pipeline) note(in *inst, u power.Unit) {
+	p.meter.Add(u, 1)
+	if in.ev[u] < 255 {
+		in.ev[u]++
+	}
+}
+
+// ---------------------------------------------------------------- fetch --
+
+func (p *Pipeline) fetch() {
+	dbg := p.DebugFetchLo < p.DebugFetchHi && p.cycle >= p.DebugFetchLo && p.cycle < p.DebugFetchHi
+	if p.fetchHeld || p.cycle < p.fetchResumeAt {
+		if dbg {
+			fmt.Printf("  f@%d held=%v resumeAt=%d\n", p.cycle, p.fetchHeld, p.fetchResumeAt)
+		}
+		p.Stats.FetchIdleHeld++
+		return
+	}
+	if dbg {
+		defer func() {
+			fmt.Printf("  f@%d fetchQ=%d decodeQ=%d window=%d\n", p.cycle, p.fetchQ.Len(), p.decodeQ.Len(), p.window.Len())
+		}()
+	}
+	rate := p.ctrl.FetchRate()
+	if !rate.ActiveAt(uint64(p.cycle)) {
+		p.Stats.FetchGatedCycles++
+		p.ctrl.NoteGatedCycle()
+		return
+	}
+	if p.fetchQ.Len()+p.cfg.FetchWidth > p.fetchQ.Cap() {
+		p.Stats.FetchIdleBackPressure++
+		return // front-end back-pressure
+	}
+
+	// One I-cache access per fetch group; misses delay the group and stall
+	// subsequent fetch for the refill.
+	pc := p.walker.NextPC()
+	lat, l2 := p.mem.InstFetch(pc, p.cycle)
+	extra := int64(lat - p.cfg.Mem.L1HitLat)
+	if extra > 0 {
+		p.fetchResumeAt = p.cycle + extra
+	}
+
+	taken := 0
+	for slot := 0; slot < p.cfg.FetchWidth; slot++ {
+		in := &inst{fetchCycle: p.cycle}
+		p.walker.Next(&in.d)
+		in.d.WrongPath = p.wrongPath
+		in.enterDecode = p.cycle + int64(p.cfg.FetchStages) + extra
+		p.note(in, power.UnitICache)
+		if slot == 0 && l2 {
+			p.note(in, power.UnitDCache2)
+		}
+		p.Stats.Fetched++
+		if in.d.WrongPath {
+			p.Stats.WrongPathFetched++
+		}
+
+		op := in.d.St.Op
+		if op.IsControl() {
+			p.note(in, power.UnitBPred)
+		}
+		stop := false
+		switch op {
+		case isa.OpBranch:
+			stop = p.fetchCondBranch(in, &taken)
+		case isa.OpJump:
+			p.btbTouch(in.d.PC, in.d.TakenPC)
+			taken++
+		case isa.OpCall:
+			p.btbTouch(in.d.PC, in.d.TakenPC)
+			p.ras.Push(in.d.FallPC)
+			taken++
+		case isa.OpReturn:
+			p.ras.Pop() // target supplied by the walker (see bpred.RAS doc)
+			taken++
+		}
+
+		p.fetchQ.PushBack(in)
+		if stop || taken >= p.cfg.MaxTakenPerCycle {
+			break
+		}
+	}
+}
+
+// fetchCondBranch predicts and steers a conditional branch; it returns true
+// when the fetch group must end (oracle-fetch hold or BTB-miss redirect).
+func (p *Pipeline) fetchCondBranch(in *inst, taken *int) bool {
+	predTaken, ctr, cookie := p.pred.Predict(in.d.PC)
+	in.predTaken = predTaken
+	in.cookie = cookie
+	in.ctr = ctr
+	in.class = p.est.Estimate(in.d.PC, ctr)
+	p.ctrl.OnBranchPredicted(in.d.Seq, in.class)
+
+	if p.cfg.Oracle == core.OracleFetch && predTaken != in.d.Taken && !in.d.WrongPath {
+		// Limit study: do not fetch the mis-speculated path. Steer the
+		// walker down the actual path but hold fetch until resolution,
+		// paying the normal recovery latency (§3, oracle fetch).
+		p.walker.Steer(in.d.Taken)
+		p.fetchHeld = true
+		p.fetchHeldBySeq = in.d.Seq
+		p.Stats.OracleHolds++
+		return true
+	}
+
+	p.walker.Steer(predTaken)
+	if predTaken != in.d.Taken {
+		p.wrongPath = true
+	}
+	if predTaken {
+		*taken++
+		// A taken prediction without a BTB entry cannot redirect fetch
+		// this cycle: end the group (one-cycle fetch bubble).
+		if _, hit := p.btb.Lookup(in.d.PC); !hit {
+			p.btb.Insert(in.d.PC, in.d.TakenPC)
+			return true
+		}
+	}
+	return false
+}
+
+// btbTouch models target-buffer activity for unconditional control.
+func (p *Pipeline) btbTouch(pc, target uint64) {
+	if _, hit := p.btb.Lookup(pc); !hit {
+		p.btb.Insert(pc, target)
+	}
+}
+
+// --------------------------------------------------------------- decode --
+
+func (p *Pipeline) decode() {
+	for n := 0; n < p.cfg.DecodeWidth && p.fetchQ.Len() > 0; n++ {
+		in := p.fetchQ.At(0)
+		if in.enterDecode > p.cycle || p.decodeQ.Full() {
+			return
+		}
+		// Decode throttling applies per instruction: only triggers older
+		// than this instruction restrict it (see core.DecodeRateFor).
+		if rate := p.ctrl.DecodeRateFor(in.d.Seq); !rate.ActiveAt(uint64(p.cycle)) {
+			if n == 0 {
+				p.Stats.DecodeGatedCycles++
+			}
+			return
+		}
+		if p.cfg.Oracle == core.OracleDecode && in.d.WrongPath {
+			return // limit study: wrong-path instructions stall at decode
+		}
+		in.enterWindow = p.cycle + int64(p.cfg.DecodeStages)
+		// Wattch counts rename, register-file operand reads, and the RUU
+		// entry write at the decode stage (the paper's footnotes 2-3);
+		// instructions squashed after decoding carry this wasted energy.
+		p.note(in, power.UnitRename)
+		p.note(in, power.UnitWindow)
+		for _, r := range [2]int8{in.d.St.Src1, in.d.St.Src2} {
+			if r != isa.RegNone {
+				p.note(in, power.UnitRegfile)
+			}
+		}
+		if in.isMem() {
+			p.note(in, power.UnitLSQ)
+		}
+		if in.d.WrongPath {
+			p.Stats.WrongPathDecoded++
+		}
+		p.decodeQ.PushBack(p.fetchQ.PopFront())
+	}
+}
+
+// ------------------------------------------------------------- dispatch --
+
+func (p *Pipeline) dispatch() {
+	for n := 0; n < p.cfg.IssueWidth && p.decodeQ.Len() > 0; n++ {
+		in := p.decodeQ.At(0)
+		if in.enterWindow > p.cycle || p.window.Full() {
+			return
+		}
+		if in.isMem() && p.lsqUsed >= p.cfg.LSQSize {
+			return
+		}
+		p.decodeQ.PopFront()
+
+		// Rename: bind sources to in-flight producers. The associated
+		// power events were counted at the decode stage.
+		si := 0
+		for _, r := range [2]int8{in.d.St.Src1, in.d.St.Src2} {
+			if r == isa.RegNone {
+				continue
+			}
+			if prod := p.regs[r]; prod != nil && !prod.done {
+				in.srcs[si] = prod
+				si++
+			}
+		}
+		if d := in.d.St.Dest; d != isa.RegNone {
+			p.regs[d] = in
+		}
+		if in.isMem() {
+			p.lsqUsed++
+		}
+		if in.d.WrongPath {
+			p.Stats.WrongPathDispatched++
+		}
+		in.windowCycle = p.cycle
+		if b, ok := p.ctrl.BarrierFor(in.d.Seq); ok {
+			in.barrier = b
+			in.hasBarrier = true
+		}
+		p.window.PushBack(in)
+	}
+}
+
+// ---------------------------------------------------------------- issue --
+
+func (p *Pipeline) issue() {
+	var fu [isa.NumFUKinds]int
+	for k := range fu {
+		fu[k] = p.cfg.FUCount[k]
+	}
+	issued := 0
+	// Memory disambiguation: a load may not issue past an older store to
+	// the same address that has not executed yet. Store addresses come
+	// from the workload oracle, approximating a modern memory-dependence
+	// predictor (sim-outorder with perfect store-set prediction); the
+	// conservative alternative serializes the whole window behind every
+	// store and starves the issue stage of the wrong-path work the paper's
+	// selection throttling targets.
+	p.unexecStores = p.unexecStores[:0]
+	blockedLoad := func(in *inst) bool {
+		if !in.isLoad() || p.cfg.PerfectDisambiguation {
+			return false
+		}
+		for _, a := range p.unexecStores {
+			if a == in.d.Addr {
+				return true
+			}
+		}
+		return false
+	}
+	noteStore := func(in *inst) {
+		if in.d.St.Op == isa.OpStore && !in.done {
+			p.unexecStores = append(p.unexecStores, in.d.Addr)
+		}
+	}
+	for i := 0; i < p.window.Len() && issued < p.cfg.IssueWidth; i++ {
+		in := p.window.At(i)
+		if in.issued {
+			noteStore(in)
+			continue
+		}
+		if p.cfg.Oracle == core.OracleSelect && in.d.WrongPath {
+			noteStore(in)
+			continue
+		}
+		if in.hasBarrier && p.ctrl.Blocked(in.barrier) {
+			p.Stats.NoSelectStalls++
+			noteStore(in)
+			continue
+		}
+		if !in.ready() {
+			noteStore(in)
+			continue
+		}
+		if blockedLoad(in) {
+			continue
+		}
+		kind := in.d.St.Op.FU()
+		if fu[kind] == 0 {
+			noteStore(in)
+			continue
+		}
+		fu[kind]--
+		issued++
+		in.issued = true
+		in.issueCycle = p.cycle
+		if in.d.WrongPath {
+			p.Stats.WrongPathIssued++
+		}
+		p.note(in, power.UnitWindow) // operand read at issue
+		p.note(in, power.UnitALU)
+
+		lat := in.d.St.Op.Latency() + p.cfg.ExtraExecLat
+		if in.isLoad() {
+			dlat, l2 := p.mem.DataAccess(in.d.Addr, p.cycle)
+			lat += dlat
+			p.note(in, power.UnitLSQ)
+			p.note(in, power.UnitDCache)
+			if l2 {
+				p.note(in, power.UnitDCache2)
+			}
+		} else if in.d.St.Op == isa.OpStore {
+			p.note(in, power.UnitLSQ) // address insertion
+			noteStore(in)             // still blocks same-address loads until done
+		}
+		if lat < 1 {
+			lat = 1
+		}
+		if lat >= maxCompLat {
+			lat = maxCompLat - 1
+		}
+		slot := (p.cycle + int64(lat)) % maxCompLat
+		p.compQ[slot] = append(p.compQ[slot], in)
+	}
+}
+
+// ------------------------------------------------------------- complete --
+
+func (p *Pipeline) complete() {
+	slot := p.cycle % maxCompLat
+	finishing := p.compQ[slot]
+	p.compQ[slot] = finishing[:0]
+	for _, in := range finishing {
+		if in.squashed {
+			continue
+		}
+		in.done = true
+		p.note(in, power.UnitWindow) // result write / tag broadcast
+		if in.d.St.Dest != isa.RegNone {
+			p.note(in, power.UnitResultBus)
+		}
+		if in.d.St.Op == isa.OpBranch {
+			p.resolve(in)
+		}
+	}
+}
+
+// resolve handles conditional-branch resolution: trigger release on a
+// correct prediction, flush and recovery on a misprediction.
+func (p *Pipeline) resolve(in *inst) {
+	if in.predTaken == in.d.Taken {
+		p.ctrl.OnBranchResolved(in.d.Seq)
+		return
+	}
+	p.flushAfter(in)
+}
+
+// flushAfter squashes everything younger than the mispredicted branch and
+// restores fetch to the correct path.
+func (p *Pipeline) flushAfter(br *inst) {
+	seq := br.d.Seq
+
+	// The front-end queues only hold instructions younger than anything in
+	// the window: drop them wholesale.
+	for p.fetchQ.Len() > 0 {
+		p.squash(p.fetchQ.PopBack())
+	}
+	for p.decodeQ.Len() > 0 {
+		p.squash(p.decodeQ.PopBack())
+	}
+	for p.window.Len() > 0 {
+		tail := p.window.At(p.window.Len() - 1)
+		if tail.d.Seq <= seq {
+			break
+		}
+		p.window.PopBack()
+		if tail.isMem() {
+			p.lsqUsed--
+		}
+		p.squash(tail)
+	}
+
+	// Rebuild the rename table from the surviving window contents.
+	for r := range p.regs {
+		p.regs[r] = nil
+	}
+	for i := 0; i < p.window.Len(); i++ {
+		w := p.window.At(i)
+		if d := w.d.St.Dest; d != isa.RegNone {
+			p.regs[d] = w
+		}
+	}
+
+	if p.DebugFlushes != "" && !br.d.WrongPath {
+		p.flushCount++
+		if p.flushCount >= 200 && p.flushCount <= 202 {
+			DumpFlush(br, p.cycle, p.DebugFlushes)
+		}
+	}
+	if !br.d.WrongPath {
+		p.Stats.ResolveLatTotal += uint64(p.cycle - br.fetchCycle)
+		p.Stats.ResolveWindowWait += uint64(p.cycle - br.windowCycle)
+		p.Stats.ResolveIssueWait += uint64(br.issueCycle - br.windowCycle)
+		p.Stats.TrueFlushes++
+	}
+	p.ctrl.OnSquash(seq)
+	p.ctrl.OnBranchResolved(seq)
+	p.pred.OnMispredict(br.cookie, br.d.Taken)
+	p.walker.Recover(&br.d)
+	p.wrongPath = br.d.WrongPath
+	p.fetchResumeAt = p.cycle + 1 + int64(p.cfg.MispredictExtra)
+	if p.fetchHeld && p.fetchHeldBySeq == seq {
+		p.fetchHeld = false
+	}
+}
+
+// Lifecycle reports an instruction's timing for diagnostics.
+func (in *inst) Lifecycle() (fetch, window, issue int64, pc uint64) {
+	return in.fetchCycle, in.windowCycle, in.issueCycle, in.d.PC
+}
+
+// Srcs exposes producer instructions for diagnostics.
+func (in *inst) Srcs() [2]*inst { return in.srcs }
+
+// squash marks an instruction dead and moves its activity to the wasted pool.
+func (p *Pipeline) squash(in *inst) {
+	if in.squashed {
+		return
+	}
+	in.squashed = true
+	if p.fetchHeld && in.d.Seq == p.fetchHeldBySeq {
+		p.fetchHeld = false // defensive: never leave fetch held by a dead branch
+	}
+	for u := power.Unit(0); u < power.NumUnits; u++ {
+		if in.ev[u] > 0 {
+			p.meter.AddWasted(u, float64(in.ev[u]))
+		}
+	}
+}
+
+// --------------------------------------------------------------- commit --
+
+func (p *Pipeline) commit() {
+	for n := 0; n < p.cfg.CommitWidth && p.window.Len() > 0; n++ {
+		in := p.window.At(0)
+		if !in.done {
+			return
+		}
+		p.window.PopFront()
+		if in.d.WrongPath {
+			panic(fmt.Sprintf("pipe: wrong-path instruction committed: seq=%d pc=%x cycle=%d",
+				in.d.Seq, in.d.PC, p.cycle))
+		}
+		if in.isMem() {
+			p.lsqUsed--
+		}
+		if d := in.d.St.Dest; d != isa.RegNone {
+			p.note(in, power.UnitRegfile) // architectural write at commit
+			if p.regs[d] == in {
+				p.regs[d] = nil
+			}
+		}
+		if in.d.St.Op == isa.OpStore {
+			_, l2 := p.mem.DataAccess(in.d.Addr, p.cycle)
+			p.note(in, power.UnitDCache)
+			if l2 {
+				p.note(in, power.UnitDCache2)
+			}
+		}
+		if p.CommitTrace != nil {
+			p.CommitTrace(in.d.Seq, in.d.PC, p.cycle)
+		}
+		if in.d.St.Op == isa.OpBranch {
+			p.note(in, power.UnitBPred) // predictor update
+			correct := in.predTaken == in.d.Taken
+			p.pred.Update(in.d.PC, in.cookie, in.d.Taken)
+			p.est.Train(in.d.PC, correct)
+			p.Stats.Quality.Record(in.class, correct)
+			p.Stats.CondBranches++
+			if !correct {
+				p.Stats.Mispredicts++
+			}
+		}
+		p.Stats.Committed++
+	}
+}

@@ -1,0 +1,259 @@
+package pipe
+
+import (
+	"testing"
+
+	"selthrottle/internal/bpred"
+	"selthrottle/internal/conf"
+	"selthrottle/internal/core"
+	"selthrottle/internal/power"
+	"selthrottle/internal/prog"
+)
+
+// build constructs a pipeline over a named profile with the given policy,
+// estimator, and oracle mode.
+func build(t testing.TB, bench string, policy core.Policy, est conf.Estimator, oracle core.Oracle) *Pipeline {
+	t.Helper()
+	p, ok := prog.ProfileByName(bench)
+	if !ok {
+		t.Fatalf("unknown profile %q", bench)
+	}
+	program := prog.Generate(p)
+	w := prog.NewWalker(program)
+	cfg := Default()
+	cfg.Oracle = oracle
+	if est == nil {
+		est = conf.NewBPRU(8 << 10)
+	}
+	return New(cfg, w, bpred.NewGshare(8<<10), est, core.NewController(policy), &power.Meter{})
+}
+
+func TestBaselineRunsToCompletion(t *testing.T) {
+	pl := build(t, "gzip", core.Baseline(), nil, core.OracleNone)
+	stats := pl.Run(30000)
+	if stats.Committed < 30000 || stats.Committed > 30000+8 {
+		t.Fatalf("committed %d, want ~30000", stats.Committed)
+	}
+	if stats.IPC() <= 0.2 || stats.IPC() > 8 {
+		t.Fatalf("implausible IPC %v", stats.IPC())
+	}
+	if stats.CondBranches == 0 || stats.Mispredicts == 0 {
+		t.Fatal("no branch activity")
+	}
+}
+
+func TestAllOracleModesRun(t *testing.T) {
+	for _, o := range []core.Oracle{core.OracleFetch, core.OracleDecode, core.OracleSelect} {
+		o := o
+		t.Run(o.String(), func(t *testing.T) {
+			pl := build(t, "parser", core.Baseline(), nil, o)
+			stats := pl.Run(15000)
+			if stats.Committed < 15000 {
+				t.Fatalf("committed %d", stats.Committed)
+			}
+		})
+	}
+}
+
+func TestAllPoliciesRun(t *testing.T) {
+	policies := []core.Policy{
+		core.Selective("half", core.Spec{Fetch: core.RateHalf}, core.Spec{Fetch: core.RateQuarter}),
+		core.Selective("stall", core.Spec{Fetch: core.RateQuarter}, core.Spec{Fetch: core.RateStall}),
+		core.Selective("decode", core.Spec{Decode: core.RateQuarter}, core.Spec{Fetch: core.RateStall}),
+		core.Selective("nosel", core.Spec{Fetch: core.RateQuarter, NoSelect: true}, core.Spec{Fetch: core.RateStall}),
+		core.PipelineGating(2),
+	}
+	for _, p := range policies {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			est := conf.Estimator(conf.NewBPRU(8 << 10))
+			if p.Gating {
+				est = conf.NewJRS(8<<10, 12)
+			}
+			pl := build(t, "twolf", p, est, core.OracleNone)
+			stats := pl.Run(15000)
+			if stats.Committed < 15000 {
+				t.Fatalf("committed %d", stats.Committed)
+			}
+		})
+	}
+}
+
+// TestNoSelectNeverDeadlocks drives the harshest no-select policy (every
+// class flagged) to exercise the paper's no-deadlock claim (§4.1).
+func TestNoSelectNeverDeadlocks(t *testing.T) {
+	policy := core.Policy{Name: "all-noselect"}
+	for c := conf.Class(0); c < conf.NumClasses; c++ {
+		policy.ByClass[c] = core.Spec{NoSelect: true}
+	}
+	pl := build(t, "go", policy, nil, core.OracleNone)
+	stats := pl.Run(10000) // Run panics internally on deadlock
+	if stats.Committed < 10000 {
+		t.Fatalf("committed %d", stats.Committed)
+	}
+}
+
+func TestStallEverythingStillProgresses(t *testing.T) {
+	// Stalling fetch AND decode for every class must still make progress:
+	// throttles apply only while trigger branches are unresolved.
+	policy := core.Policy{Name: "max-throttle"}
+	for _, c := range []conf.Class{conf.LC, conf.VLC} {
+		policy.ByClass[c] = core.Spec{Fetch: core.RateStall, Decode: core.RateStall, NoSelect: true}
+	}
+	pl := build(t, "compress", policy, nil, core.OracleNone)
+	stats := pl.Run(10000)
+	if stats.Committed < 10000 {
+		t.Fatalf("committed %d", stats.Committed)
+	}
+	if stats.FetchGatedCycles == 0 {
+		t.Fatal("max-throttle policy never gated fetch")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	a := build(t, "crafty", core.Baseline(), nil, core.OracleNone).Run(20000)
+	b := build(t, "crafty", core.Baseline(), nil, core.OracleNone).Run(20000)
+	if a.Cycles != b.Cycles || a.Mispredicts != b.Mispredicts || a.Fetched != b.Fetched {
+		t.Fatalf("runs diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestCommittedStreamIdenticalAcrossPolicies(t *testing.T) {
+	// Throttling changes timing, never architecture: the committed PC
+	// stream must be byte-identical between baseline and any policy.
+	capture := func(policy core.Policy) []uint64 {
+		pl := build(t, "gzip", policy, nil, core.OracleNone)
+		var pcs []uint64
+		pl.CommitTrace = func(seq, pc uint64, cycle int64) {
+			pcs = append(pcs, pc)
+		}
+		pl.Run(15000)
+		return pcs
+	}
+	base := capture(core.Baseline())
+	thr := capture(core.Selective("t",
+		core.Spec{Fetch: core.RateQuarter, NoSelect: true},
+		core.Spec{Fetch: core.RateStall}))
+	if len(base) != len(thr) {
+		t.Fatalf("stream lengths differ: %d vs %d", len(base), len(thr))
+	}
+	for i := range base {
+		if base[i] != thr[i] {
+			t.Fatalf("committed stream diverged at %d: %#x vs %#x", i, base[i], thr[i])
+		}
+	}
+}
+
+func TestThrottlingReducesFetchTraffic(t *testing.T) {
+	base := build(t, "go", core.Baseline(), nil, core.OracleNone).Run(20000)
+	thr := build(t, "go", core.Selective("t",
+		core.Spec{Fetch: core.RateQuarter},
+		core.Spec{Fetch: core.RateStall}), nil, core.OracleNone).Run(20000)
+	if thr.Fetched >= base.Fetched {
+		t.Fatalf("throttling did not reduce fetch traffic: %d vs %d", thr.Fetched, base.Fetched)
+	}
+	if thr.FetchGatedCycles == 0 {
+		t.Fatal("no gated cycles recorded")
+	}
+}
+
+func TestOracleFetchSuppressesWrongPath(t *testing.T) {
+	stats := build(t, "go", core.Baseline(), nil, core.OracleFetch).Run(20000)
+	if stats.WrongPathFetched != 0 {
+		t.Fatalf("oracle fetch fetched %d wrong-path instructions", stats.WrongPathFetched)
+	}
+	base := build(t, "go", core.Baseline(), nil, core.OracleNone).Run(20000)
+	if base.WrongPathFetched == 0 {
+		t.Fatal("baseline fetched no wrong-path instructions")
+	}
+}
+
+func TestOracleDecodeSuppressesWrongPathDecode(t *testing.T) {
+	stats := build(t, "go", core.Baseline(), nil, core.OracleDecode).Run(20000)
+	if stats.WrongPathDecoded != 0 {
+		t.Fatalf("oracle decode decoded %d wrong-path instructions", stats.WrongPathDecoded)
+	}
+	if stats.WrongPathFetched == 0 {
+		t.Fatal("oracle decode should still fetch the wrong path")
+	}
+}
+
+func TestOracleSelectSuppressesWrongPathIssue(t *testing.T) {
+	stats := build(t, "go", core.Baseline(), nil, core.OracleSelect).Run(20000)
+	if stats.WrongPathIssued != 0 {
+		t.Fatalf("oracle select issued %d wrong-path instructions", stats.WrongPathIssued)
+	}
+	if stats.WrongPathDispatched == 0 {
+		t.Fatal("oracle select should still dispatch the wrong path")
+	}
+}
+
+func TestPowerAttributionConsistency(t *testing.T) {
+	p, _ := prog.ProfileByName("twolf")
+	program := prog.Generate(p)
+	w := prog.NewWalker(program)
+	meter := &power.Meter{}
+	pl := New(Default(), w, bpred.NewGshare(8<<10), conf.NewBPRU(8<<10),
+		core.NewController(core.Baseline()), meter)
+	pl.Run(20000)
+	for u := power.Unit(0); u < power.NumUnits; u++ {
+		if meter.Wasted[u] > meter.Events[u] {
+			t.Fatalf("unit %v: wasted %v > total %v", u, meter.Wasted[u], meter.Events[u])
+		}
+	}
+	if meter.Cycles != pl.Stats.Cycles {
+		t.Fatal("meter and stats disagree on cycles")
+	}
+	if meter.Events[power.UnitICache] < float64(pl.Stats.Fetched) {
+		t.Fatal("icache events fewer than fetched instructions")
+	}
+}
+
+func TestDepthConfiguration(t *testing.T) {
+	cfg := Default()
+	for depth := 6; depth <= 28; depth += 2 {
+		cfg.SetDepth(depth)
+		if cfg.Depth() != depth {
+			t.Fatalf("SetDepth(%d) produced depth %d", depth, cfg.Depth())
+		}
+	}
+	cfg.SetDepth(14)
+	if cfg.ExtraExecLat != 0 {
+		t.Fatal("baseline depth should add no exec latency")
+	}
+	cfg.SetDepth(28)
+	if cfg.ExtraExecLat < 1 {
+		t.Fatal("deep pipeline should add exec latency")
+	}
+}
+
+func TestDeeperPipelineCostsMore(t *testing.T) {
+	run := func(depth int) uint64 {
+		p, _ := prog.ProfileByName("twolf")
+		program := prog.Generate(p)
+		cfg := Default()
+		cfg.SetDepth(depth)
+		pl := New(cfg, prog.NewWalker(program), bpred.NewGshare(8<<10),
+			conf.NewBPRU(8<<10), core.NewController(core.Baseline()), &power.Meter{})
+		return pl.Run(20000).Cycles
+	}
+	shallow, deep := run(6), run(28)
+	if deep <= shallow {
+		t.Fatalf("28-stage pipe (%d cyc) not slower than 6-stage (%d cyc)", deep, shallow)
+	}
+}
+
+func TestStatsAccessors(t *testing.T) {
+	var s Stats
+	if s.IPC() != 0 || s.MissRate() != 0 {
+		t.Fatal("zero stats accessors nonzero")
+	}
+	s.Cycles, s.Committed = 100, 250
+	if s.IPC() != 2.5 {
+		t.Fatalf("IPC = %v", s.IPC())
+	}
+	s.CondBranches, s.Mispredicts = 50, 5
+	if s.MissRate() != 0.1 {
+		t.Fatalf("MissRate = %v", s.MissRate())
+	}
+}

@@ -1,0 +1,72 @@
+package pipe
+
+// ring is a bounded FIFO deque used for the instruction window and the
+// front-end queues. All simulator structures are bounded (window, LSQ,
+// fetch and decode buffers), so a fixed ring avoids per-cycle allocation in
+// the hottest loops.
+type ring[T any] struct {
+	buf   []T
+	head  int
+	count int
+}
+
+func newRing[T any](capacity int) *ring[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &ring[T]{buf: make([]T, capacity)}
+}
+
+func (r *ring[T]) Len() int   { return r.count }
+func (r *ring[T]) Cap() int   { return len(r.buf) }
+func (r *ring[T]) Full() bool { return r.count == len(r.buf) }
+
+// At returns the i-th element from the front (0 = oldest).
+func (r *ring[T]) At(i int) T {
+	return r.buf[(r.head+i)%len(r.buf)]
+}
+
+// PushBack appends v; it panics when full (callers check Full first — a
+// violation is a back-pressure bug, not a recoverable condition).
+func (r *ring[T]) PushBack(v T) {
+	if r.Full() {
+		panic("pipe: ring overflow")
+	}
+	r.buf[(r.head+r.count)%len(r.buf)] = v
+	r.count++
+}
+
+// PopFront removes and returns the oldest element.
+func (r *ring[T]) PopFront() T {
+	if r.count == 0 {
+		panic("pipe: ring underflow")
+	}
+	v := r.buf[r.head]
+	var zero T
+	r.buf[r.head] = zero
+	r.head = (r.head + 1) % len(r.buf)
+	r.count--
+	return v
+}
+
+// PopBack removes and returns the youngest element.
+func (r *ring[T]) PopBack() T {
+	if r.count == 0 {
+		panic("pipe: ring underflow")
+	}
+	i := (r.head + r.count - 1) % len(r.buf)
+	v := r.buf[i]
+	var zero T
+	r.buf[i] = zero
+	r.count--
+	return v
+}
+
+// Clear drops every element.
+func (r *ring[T]) Clear() {
+	for i := 0; i < r.count; i++ {
+		var zero T
+		r.buf[(r.head+i)%len(r.buf)] = zero
+	}
+	r.head, r.count = 0, 0
+}

@@ -1,0 +1,127 @@
+package pipe
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRingFIFOOrder(t *testing.T) {
+	r := newRing[int](4)
+	for i := 1; i <= 4; i++ {
+		r.PushBack(i)
+	}
+	if !r.Full() {
+		t.Fatal("ring not full after 4 pushes")
+	}
+	for i := 1; i <= 4; i++ {
+		if got := r.PopFront(); got != i {
+			t.Fatalf("PopFront = %d, want %d", got, i)
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatal("ring not empty")
+	}
+}
+
+func TestRingPopBack(t *testing.T) {
+	r := newRing[int](4)
+	r.PushBack(1)
+	r.PushBack(2)
+	if r.PopBack() != 2 || r.PopBack() != 1 {
+		t.Fatal("PopBack order wrong")
+	}
+}
+
+func TestRingWrapAround(t *testing.T) {
+	r := newRing[int](3)
+	for cycle := 0; cycle < 10; cycle++ {
+		r.PushBack(cycle)
+		if r.At(r.Len()-1) != cycle {
+			t.Fatal("At(back) wrong")
+		}
+		if r.Len() == 3 {
+			r.PopFront()
+		}
+	}
+}
+
+func TestRingOverflowPanics(t *testing.T) {
+	r := newRing[int](1)
+	r.PushBack(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overflow did not panic")
+		}
+	}()
+	r.PushBack(2)
+}
+
+func TestRingUnderflowPanics(t *testing.T) {
+	r := newRing[int](1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("underflow did not panic")
+		}
+	}()
+	r.PopFront()
+}
+
+func TestRingClear(t *testing.T) {
+	r := newRing[int](4)
+	r.PushBack(1)
+	r.PushBack(2)
+	r.Clear()
+	if r.Len() != 0 {
+		t.Fatal("Clear left elements")
+	}
+	r.PushBack(9)
+	if r.At(0) != 9 {
+		t.Fatal("ring unusable after Clear")
+	}
+}
+
+func TestRingMatchesSliceModel(t *testing.T) {
+	// Property: the ring behaves exactly like a bounded slice-based FIFO
+	// under an arbitrary operation sequence.
+	err := quick.Check(func(ops []uint8) bool {
+		const capN = 8
+		r := newRing[uint8](capN)
+		var model []uint8
+		for i, op := range ops {
+			switch op % 4 {
+			case 0, 1: // push
+				if len(model) < capN {
+					r.PushBack(op)
+					model = append(model, op)
+				}
+			case 2: // pop front
+				if len(model) > 0 {
+					if r.PopFront() != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			case 3: // pop back
+				if len(model) > 0 {
+					if r.PopBack() != model[len(model)-1] {
+						return false
+					}
+					model = model[:len(model)-1]
+				}
+			}
+			if r.Len() != len(model) {
+				return false
+			}
+			for j := range model {
+				if r.At(j) != model[j] {
+					return false
+				}
+			}
+			_ = i
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,25 @@
+package pipe
+
+import "fmt"
+
+// DumpFlush prints a mispredicted branch's dependence context (development
+// diagnostics, used to debug scheduling regressions).
+func DumpFlush(br *inst, cycle int64, label string) {
+	fmt.Printf("%s flush@%d br pc=%x seq=%d fetch=%d window=%d issue=%d\n",
+		label, cycle, br.d.PC, br.d.Seq, br.fetchCycle, br.windowCycle, br.issueCycle)
+	dumpChain(br, 1, 12)
+}
+
+func dumpChain(in *inst, depth, limit int) {
+	if depth > limit {
+		return
+	}
+	for i, s := range in.srcs {
+		if s == nil {
+			continue
+		}
+		fmt.Printf("  %*s src%d pc=%x seq=%d op=%v fetch=%d window=%d issue=%d done=%v\n",
+			depth*2, "", i, s.d.PC, s.d.Seq, s.d.St.Op, s.fetchCycle, s.windowCycle, s.issueCycle, s.done)
+		dumpChain(s, depth+1, limit)
+	}
+}

@@ -1,0 +1,170 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTable1SharesSumToOne(t *testing.T) {
+	var sum float64
+	for u := Unit(0); u < NumUnits; u++ {
+		sum += Table1Shares[u]
+	}
+	if math.Abs(sum-0.999) > 0.002 { // the paper's column sums to 99.9 %
+		t.Fatalf("shares sum to %v", sum)
+	}
+}
+
+func TestDeriveMaxInvertsCC3(t *testing.T) {
+	p := DefaultParams()
+	// By construction: max*(idle+(1-idle)*util) == share*total.
+	for u := Unit(0); u < NumUnits; u++ {
+		util := baselineUtil[u]
+		got := p.MaxWatts[u] * (p.IdleFrac + (1-p.IdleFrac)*util)
+		want := Table1Shares[u] * TotalWatts
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("%v: reconstructed %v, want %v", u, got, want)
+		}
+	}
+}
+
+func TestAnalyzeIdleMachine(t *testing.T) {
+	var m Meter
+	for i := 0; i < 1000; i++ {
+		m.AddCycle()
+	}
+	p := DefaultParams()
+	r := m.Analyze(p)
+	// A fully idle machine dissipates exactly the 10 % floors.
+	var wantPower float64
+	for u := Unit(0); u < NumUnits; u++ {
+		wantPower += p.MaxWatts[u] * p.IdleFrac
+	}
+	if math.Abs(r.AvgPower-wantPower) > 1e-6 {
+		t.Fatalf("idle power %v, want %v", r.AvgPower, wantPower)
+	}
+	if r.WastedEnergy != 0 {
+		t.Fatal("idle machine wasted energy")
+	}
+}
+
+func TestAnalyzeFullUtilization(t *testing.T) {
+	var m Meter
+	p := DefaultParams()
+	cycles := 1000
+	for i := 0; i < cycles; i++ {
+		m.AddCycle()
+		for u := Unit(0); u < NumUnits; u++ {
+			if u != UnitClock {
+				m.Add(u, p.Ports[u])
+			}
+		}
+	}
+	r := m.Analyze(p)
+	var wantPower float64
+	for u := Unit(0); u < NumUnits; u++ {
+		wantPower += p.MaxWatts[u] // cc3 at util 1.0 = max
+	}
+	if math.Abs(r.AvgPower-wantPower) > 1e-6 {
+		t.Fatalf("full-util power %v, want %v", r.AvgPower, wantPower)
+	}
+}
+
+func TestWastedNeverExceedsDynamic(t *testing.T) {
+	err := quick.Check(func(events, wastedFrac uint8) bool {
+		var m Meter
+		for i := 0; i < 100; i++ {
+			m.AddCycle()
+		}
+		ev := float64(events)
+		w := ev * float64(wastedFrac%101) / 100
+		m.Add(UnitALU, ev)
+		m.AddWasted(UnitALU, w)
+		r := m.Analyze(DefaultParams())
+		return r.UnitWasted[UnitALU] <= r.UnitEnergy[UnitALU]+1e-12
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWastedScalesLinearly(t *testing.T) {
+	p := DefaultParams()
+	build := func(wasted float64) Report {
+		var m Meter
+		for i := 0; i < 1000; i++ {
+			m.AddCycle()
+		}
+		m.Add(UnitICache, 4000)
+		m.AddWasted(UnitICache, wasted)
+		return m.Analyze(p)
+	}
+	half := build(2000)
+	full := build(4000)
+	if math.Abs(full.UnitWasted[UnitICache]-2*half.UnitWasted[UnitICache]) > 1e-9 {
+		t.Fatal("wasted energy not linear in wasted events")
+	}
+}
+
+func TestClockTracksActivity(t *testing.T) {
+	p := DefaultParams()
+	var idle, busy Meter
+	for i := 0; i < 1000; i++ {
+		idle.AddCycle()
+		busy.AddCycle()
+		busy.Add(UnitWindow, 16)
+		busy.Add(UnitALU, 8)
+	}
+	ri := idle.Analyze(p)
+	rb := busy.Analyze(p)
+	if rb.UnitEnergy[UnitClock] <= ri.UnitEnergy[UnitClock] {
+		t.Fatal("clock energy does not grow with chip activity")
+	}
+}
+
+func TestEnergyDelayDefinition(t *testing.T) {
+	var m Meter
+	for i := 0; i < 1200; i++ {
+		m.AddCycle()
+		m.Add(UnitALU, 2)
+	}
+	r := m.Analyze(DefaultParams())
+	if math.Abs(r.EnergyDelay-r.TotalEnergy*r.Seconds) > 1e-15 {
+		t.Fatal("E-D product definition violated")
+	}
+	if math.Abs(r.AvgPower*r.Seconds-r.TotalEnergy) > 1e-9 {
+		t.Fatal("power-energy-time identity violated")
+	}
+}
+
+func TestZeroCycleAnalyze(t *testing.T) {
+	var m Meter
+	r := m.Analyze(DefaultParams())
+	if r.TotalEnergy != 0 || r.AvgPower != 0 {
+		t.Fatal("zero-cycle analysis not zero")
+	}
+}
+
+func TestUnitStrings(t *testing.T) {
+	want := []string{"icache", "bpred", "regfile", "rename", "window", "lsq",
+		"alu", "dcache", "dcache2", "resultbus", "clock"}
+	for u := Unit(0); u < NumUnits; u++ {
+		if u.String() != want[u] {
+			t.Errorf("unit %d = %q, want %q", u, u.String(), want[u])
+		}
+	}
+}
+
+func TestUtilizationAccessor(t *testing.T) {
+	var m Meter
+	p := DefaultParams()
+	for i := 0; i < 100; i++ {
+		m.AddCycle()
+		m.Add(UnitICache, 4)
+	}
+	want := 4.0 / p.Ports[UnitICache]
+	if got := m.Utilization(p, UnitICache); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("utilization = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,278 @@
+package prog
+
+import (
+	"selthrottle/internal/isa"
+	"selthrottle/internal/xrand"
+)
+
+// CallStackDepth bounds the walker's call stack. The generator never nests
+// calls deeper than the function count, but wrong-path execution can push
+// spurious frames; the stack is a ring so overflow silently drops the oldest
+// frame (a wrong-path artifact that squash erases anyway).
+const CallStackDepth = 64
+
+// WalkState is the complete architectural position of a walker: the block
+// cursor, the global branch-outcome history, and the call stack. It is a
+// value type so it can be checkpointed per conditional branch and restored
+// exactly on misprediction recovery.
+type WalkState struct {
+	Block   int    // current block index
+	Index   int    // next instruction within the block
+	Ghist   uint64 // global history of actual conditional-branch outcomes
+	BrCount uint64 // conditional branches executed (time base for noise)
+
+	stack [CallStackDepth]int32
+	sp    int // number of valid frames
+}
+
+// push adds a return-site block to the call stack (ring on overflow).
+func (s *WalkState) push(block int) {
+	if s.sp == CallStackDepth {
+		copy(s.stack[:], s.stack[1:])
+		s.sp--
+	}
+	s.stack[s.sp] = int32(block)
+	s.sp++
+}
+
+// pop removes and returns the top return site; ok is false when empty.
+func (s *WalkState) pop() (int, bool) {
+	if s.sp == 0 {
+		return 0, false
+	}
+	s.sp--
+	return int(s.stack[s.sp]), true
+}
+
+// Depth returns the current call-stack depth (used by tests).
+func (s *WalkState) Depth() int { return s.sp }
+
+// DynInst is one dynamic instruction produced by a walker. It carries
+// everything the pipeline needs: the static instruction, its PC, the actual
+// branch outcome / memory address, and (for conditional branches) a recovery
+// checkpoint of the walker taken *before* steering.
+type DynInst struct {
+	Seq  uint64
+	PC   uint64
+	St   isa.Static
+	BrID int // Program.Branches index for conditional branches, else NoBranch
+
+	Taken     bool   // actual direction (conditional branches)
+	TakenPC   uint64 // PC of the taken target (branch/jump/call)
+	FallPC    uint64 // PC of the fall-through successor
+	Addr      uint64 // effective address (memory ops)
+	WrongPath bool   // set by the pipeline when fetched under a misprediction
+
+	// Ckpt is the walker state just after outcome generation but before
+	// steering; restoring it and steering with the actual outcome resumes
+	// the correct path. Only populated for conditional branches.
+	Ckpt WalkState
+}
+
+// Walker generates the dynamic instruction stream of a program. The walker
+// follows whatever directions the front end steers it in (predicted
+// directions), so it naturally produces genuine wrong-path instruction
+// streams; actual outcomes are reported on each branch for later resolution.
+type Walker struct {
+	prog *Program
+	st   WalkState
+	seq  uint64
+
+	// pendingSteer is true between producing a conditional branch and the
+	// caller's Steer call; Next panics if violated (harness bug).
+	pendingSteer bool
+}
+
+// NewWalker returns a walker positioned at the program entry.
+func NewWalker(p *Program) *Walker {
+	return &Walker{
+		prog: p,
+		st:   WalkState{Block: p.Entry, Ghist: xrand.Hash64(p.Profile.Seed)},
+	}
+}
+
+// State returns a copy of the current walker state (for tests/diagnostics).
+func (w *Walker) State() WalkState { return w.st }
+
+// Seq returns the sequence number the next instruction will receive.
+func (w *Walker) Seq() uint64 { return w.seq }
+
+// Outcome computes the actual direction of branch br. It is a pure function
+// of (branch, global history, branch count), so the walker can replay it
+// exactly from a checkpoint. The unlearnable component is keyed on the
+// branch-occurrence counter and deep history bits — information no
+// realistically sized predictor can capture — and fires with probability
+// NoiseP; the learnable component is a random boolean function of the
+// branch's low DetBits history bits, which tables learn once trained
+// (bigger tables alias less and reach deeper — the paper's Figure 7 effect).
+// Loop back-edges have no learnable component: they are taken until the
+// noise term fires the exit, giving geometric trip counts with mean
+// 1/NoiseP.
+func Outcome(br *Branch, ghist, brCount uint64) bool {
+	sel := xrand.Hash3(br.Seed, ghist>>24, brCount)
+	if float64(sel>>40)/float64(1<<24) < br.NoiseP {
+		// Unlearnable: biased coin drawn from the same hash's low bits.
+		return float64(sel&0xFFFFFF)/float64(1<<24) < br.Bias
+	}
+	mask := uint64(1)<<uint(br.DetBits) - 1
+	det := xrand.Hash2(br.Seed^0xD5AA, ghist&mask)
+	detFrac := float64(det&0xFFFFFF) / float64(1<<24)
+	if br.LoopBack {
+		// Learnable exit: in a recurring history context the same
+		// iteration exits, so trained predictors anticipate it.
+		return !(detFrac < br.TripInv)
+	}
+	// Learnable outcome: a fixed pseudo-random function of the low history
+	// bits whose per-context taken-rate is DetBias (0.5 for ordinary
+	// branches; the gate frequency for hard-diamond gates).
+	return detFrac < br.DetBias
+}
+
+// Next produces the next dynamic instruction into out. For conditional
+// branches the walker pauses: the caller must invoke Steer with the
+// *predicted* direction before calling Next again. All other control flow
+// steers itself.
+func (w *Walker) Next(out *DynInst) {
+	if w.pendingSteer {
+		panic("prog: Next called with a pending Steer")
+	}
+	blk := &w.prog.Blocks[w.st.Block]
+	// Advance through (possibly empty-remainder) blocks until an
+	// instruction is available. Fall-through blocks chain silently.
+	for w.st.Index >= len(blk.Code) {
+		w.st.Block = blk.Succ[0]
+		w.st.Index = 0
+		blk = &w.prog.Blocks[w.st.Block]
+	}
+	idx := w.st.Index
+	st := blk.Code[idx]
+	*out = DynInst{
+		Seq:  w.seq,
+		PC:   blk.Base + uint64(idx)*InstBytes,
+		St:   st,
+		BrID: NoBranch,
+	}
+	w.seq++
+	w.st.Index++
+
+	switch {
+	case st.Op == isa.OpBranch:
+		br := &w.prog.Branches[blk.BrID]
+		taken := Outcome(br, w.st.Ghist, w.st.BrCount)
+		w.st.BrCount++
+		out.BrID = blk.BrID
+		out.Taken = taken
+		out.TakenPC = w.prog.Blocks[blk.Succ[1]].Base
+		out.FallPC = w.prog.Blocks[blk.Succ[0]].Base
+		// History records the *actual* outcome: outcome generation is
+		// architecturally consistent along whichever path is followed.
+		w.st.Ghist = w.st.Ghist<<1 | b2u(taken)
+		out.Ckpt = w.st
+		w.pendingSteer = true
+	case st.Op == isa.OpJump:
+		out.TakenPC = w.prog.Blocks[blk.Succ[1]].Base
+		out.Taken = true
+		w.st.Block = blk.Succ[1]
+		w.st.Index = 0
+	case st.Op == isa.OpCall:
+		out.TakenPC = w.prog.Blocks[blk.Succ[1]].Base
+		out.FallPC = w.prog.Blocks[blk.Succ[0]].Base
+		out.Taken = true
+		w.st.push(blk.Succ[0])
+		w.st.Block = blk.Succ[1]
+		w.st.Index = 0
+	case st.Op == isa.OpReturn:
+		target, ok := w.st.pop()
+		if !ok {
+			// Wrong-path artifact (or top-of-program): restart at entry.
+			target = w.prog.Entry
+		}
+		out.TakenPC = w.prog.Blocks[target].Base
+		out.Taken = true
+		w.st.Block = target
+		w.st.Index = 0
+	case st.Op.IsMem():
+		if m, ok := w.prog.memRef(w.st.Block, idx); ok {
+			if m.Wild {
+				// No temporal locality, and keyed on the full history
+				// so a wrong path's reconvergent loads do NOT compute
+				// the correct path's future addresses (register state
+				// differs across paths in real programs). Wild loads
+				// miss often, and on the wrong path they are pure
+				// cache pollution — the effect behind the paper's
+				// oracle-fetch speedup.
+				out.Addr = m.Base + xrand.Hash3(m.Seed, w.st.Ghist, w.st.BrCount)%m.Span&^7
+			} else {
+				// Slowly moving working set: the address advances
+				// only every 64 branches, so repeated executions hit.
+				out.Addr = m.Base + xrand.Hash2(m.Seed, w.st.BrCount>>6)%m.Span&^7
+			}
+		}
+	}
+
+	// If a fall-through block is exhausted, chain to its successor so the
+	// next PC is correct for fetch-group formation.
+	if !w.pendingSteer {
+		blk = &w.prog.Blocks[w.st.Block]
+		for w.st.Index >= len(blk.Code) && blk.Terminator() == isa.OpNop {
+			if blk.Succ[0] == NoBlock {
+				break
+			}
+			w.st.Block = blk.Succ[0]
+			w.st.Index = 0
+			blk = &w.prog.Blocks[w.st.Block]
+		}
+	}
+}
+
+// Steer resolves a pending conditional branch with the direction the front
+// end *predicts* (which may be wrong — the walker then produces the wrong
+// path until Recover is called).
+func (w *Walker) Steer(taken bool) {
+	if !w.pendingSteer {
+		panic("prog: Steer without a pending branch")
+	}
+	blk := &w.prog.Blocks[w.st.Block]
+	// The branch was the last instruction of its block.
+	if taken {
+		w.st.Block = blk.Succ[1]
+	} else {
+		w.st.Block = blk.Succ[0]
+	}
+	w.st.Index = 0
+	w.pendingSteer = false
+}
+
+// Recover rewinds the walker to a branch's checkpoint and steers it down the
+// actual path: the fetch stream continues on the correct path exactly as if
+// the branch had been predicted correctly.
+func (w *Walker) Recover(d *DynInst) {
+	if d.BrID == NoBranch {
+		panic("prog: Recover on a non-branch")
+	}
+	w.st = d.Ckpt
+	w.pendingSteer = true
+	w.Steer(d.Taken)
+}
+
+// NextPC reports the PC the walker will fetch next (for I-cache access
+// grouping). It resolves pending fall-through chains conservatively.
+func (w *Walker) NextPC() uint64 {
+	blk := &w.prog.Blocks[w.st.Block]
+	idx := w.st.Index
+	for idx >= len(blk.Code) {
+		if blk.Succ[0] == NoBlock {
+			return blk.Base
+		}
+		blk = &w.prog.Blocks[blk.Succ[0]]
+		idx = 0
+	}
+	return blk.Base + uint64(idx)*InstBytes
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

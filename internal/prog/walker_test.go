@@ -1,0 +1,249 @@
+package prog
+
+import (
+	"testing"
+	"testing/quick"
+
+	"selthrottle/internal/isa"
+	"selthrottle/internal/xrand"
+)
+
+// drive follows the actual path for n instructions and returns a fingerprint
+// of the stream.
+func drive(w *Walker, n int) uint64 {
+	var d DynInst
+	var fp uint64
+	for i := 0; i < n; i++ {
+		w.Next(&d)
+		fp = xrand.Hash3(fp, d.PC, uint64(d.St.Op))
+		if d.BrID != NoBranch {
+			fp = xrand.Hash2(fp, b2u(d.Taken))
+			w.Steer(d.Taken)
+		}
+	}
+	return fp
+}
+
+func TestWalkerDeterminism(t *testing.T) {
+	p, _ := ProfileByName("crafty")
+	prog := Generate(p)
+	a := drive(NewWalker(prog), 50000)
+	b := drive(NewWalker(prog), 50000)
+	if a != b {
+		t.Fatal("walker streams diverge for identical programs")
+	}
+}
+
+func TestOutcomePure(t *testing.T) {
+	br := &Branch{Seed: 99, DetBits: 6, DetBias: 0.5, NoiseP: 0.3, Bias: 0.6}
+	err := quick.Check(func(ghist, brc uint64) bool {
+		return Outcome(br, ghist, brc) == Outcome(br, ghist, brc)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutcomeBiasObserved(t *testing.T) {
+	// A pure-noise branch should follow its bias.
+	br := &Branch{Seed: 7, DetBits: 4, DetBias: 0.5, NoiseP: 1.0, Bias: 0.8}
+	rng := xrand.New(3)
+	taken := 0
+	n := 50000
+	for i := 0; i < n; i++ {
+		if Outcome(br, rng.Uint64(), uint64(i)) {
+			taken++
+		}
+	}
+	f := float64(taken) / float64(n)
+	if f < 0.76 || f > 0.84 {
+		t.Fatalf("taken fraction %v, want ~0.8", f)
+	}
+}
+
+// TestRecoverExactness is the critical correctness property of the workload
+// substrate: running down a wrong path and then recovering at the branch
+// must produce exactly the stream that following the correct path from the
+// start would have produced.
+func TestRecoverExactness(t *testing.T) {
+	p, _ := ProfileByName("gzip")
+	prog := Generate(p)
+
+	// Reference: always follow the actual outcome.
+	ref := NewWalker(prog)
+	var refStream []uint64
+	var d DynInst
+	for i := 0; i < 3000; i++ {
+		ref.Next(&d)
+		refStream = append(refStream, d.PC)
+		if d.BrID != NoBranch {
+			ref.Steer(d.Taken)
+		}
+	}
+
+	// Speculative: at every 5th branch, walk 1-40 wrong-path instructions,
+	// then recover.
+	spec := NewWalker(prog)
+	rng := xrand.New(123)
+	var got []uint64
+	branchCount := 0
+	for len(got) < 3000 {
+		spec.Next(&d)
+		got = append(got, d.PC)
+		if d.BrID == NoBranch {
+			continue
+		}
+		branchCount++
+		if branchCount%5 != 0 {
+			spec.Steer(d.Taken)
+			continue
+		}
+		// Go down the wrong path.
+		br := d
+		spec.Steer(!d.Taken)
+		var junk DynInst
+		for k := rng.Intn(40) + 1; k > 0; k-- {
+			spec.Next(&junk)
+			if junk.BrID != NoBranch {
+				spec.Steer(junk.Taken)
+			}
+		}
+		spec.Recover(&br)
+	}
+	for i := range refStream {
+		if got[i] != refStream[i] {
+			t.Fatalf("stream diverged at %d: got pc %#x, want %#x", i, got[i], refStream[i])
+		}
+	}
+}
+
+func TestSteerPanicsWithoutPendingBranch(t *testing.T) {
+	p, _ := ProfileByName("gzip")
+	w := NewWalker(Generate(p))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Steer without pending branch did not panic")
+		}
+	}()
+	w.Steer(true)
+}
+
+func TestNextPanicsWithPendingSteer(t *testing.T) {
+	p, _ := ProfileByName("gzip")
+	prog := Generate(p)
+	w := NewWalker(prog)
+	var d DynInst
+	for {
+		w.Next(&d)
+		if d.BrID != NoBranch {
+			break
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Next with pending steer did not panic")
+		}
+	}()
+	w.Next(&d)
+}
+
+func TestCallStackDepthBounded(t *testing.T) {
+	var s WalkState
+	for i := 0; i < 3*CallStackDepth; i++ {
+		s.push(i)
+	}
+	if s.Depth() != CallStackDepth {
+		t.Fatalf("stack depth %d, want %d", s.Depth(), CallStackDepth)
+	}
+	// The most recent frames survive the ring overflow.
+	top, ok := s.pop()
+	if !ok || top != 3*CallStackDepth-1 {
+		t.Fatalf("top frame = %d, %v", top, ok)
+	}
+}
+
+func TestWalkerSequenceNumbersIncrease(t *testing.T) {
+	p, _ := ProfileByName("parser")
+	prog := Generate(p)
+	w := NewWalker(prog)
+	var d DynInst
+	var prev uint64
+	for i := 0; i < 10000; i++ {
+		w.Next(&d)
+		if i > 0 && d.Seq != prev+1 {
+			t.Fatalf("seq jumped from %d to %d", prev, d.Seq)
+		}
+		prev = d.Seq
+		if d.BrID != NoBranch {
+			w.Steer(d.Taken)
+		}
+	}
+}
+
+func TestBranchTargetsPopulated(t *testing.T) {
+	p, _ := ProfileByName("parser")
+	prog := Generate(p)
+	w := NewWalker(prog)
+	var d DynInst
+	for i := 0; i < 20000; i++ {
+		w.Next(&d)
+		switch d.St.Op {
+		case isa.OpBranch:
+			if d.TakenPC == 0 || d.FallPC == 0 {
+				t.Fatal("branch without targets")
+			}
+			w.Steer(d.Taken)
+		case isa.OpJump, isa.OpCall, isa.OpReturn:
+			if d.TakenPC == 0 {
+				t.Fatalf("%v without target", d.St.Op)
+			}
+		case isa.OpLoad, isa.OpStore:
+			if d.Addr == 0 {
+				t.Fatal("memory op without address")
+			}
+		}
+	}
+}
+
+func TestAddressStreamHasCacheLocality(t *testing.T) {
+	// The property the substrate must provide: the memory address stream
+	// of the correct path hits a 64 KB cache most of the time (stable
+	// references), while a substantial minority of accesses (the "wild"
+	// references) miss — that is where wrong-path cache pollution comes
+	// from.
+	p, _ := ProfileByName("compress")
+	prog := Generate(p)
+	w := NewWalker(prog)
+	var d DynInst
+
+	// Direct-mapped 64 KB / 32 B-line cache model.
+	const lines = 2048
+	var tags [lines]uint64
+	hits, total := 0, 0
+	for i := 0; i < 150000; i++ {
+		w.Next(&d)
+		if d.BrID != NoBranch {
+			w.Steer(d.Taken)
+		}
+		if d.St.Op.IsMem() {
+			line := d.Addr >> 5
+			slot := line % lines
+			if tags[slot] == line {
+				hits++
+			} else {
+				tags[slot] = line
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no memory operations")
+	}
+	rate := float64(hits) / float64(total)
+	if rate < 0.5 {
+		t.Fatalf("hit rate %.2f: address stream has no locality", rate)
+	}
+	if rate > 0.995 {
+		t.Fatalf("hit rate %.2f: no wild references, wrong-path pollution impossible", rate)
+	}
+}

@@ -1,0 +1,78 @@
+package sim
+
+import "selthrottle/internal/core"
+
+// Ablations isolate the design choices behind the paper's headline result:
+// how much of Selective Throttling's advantage over Pipeline Gating comes
+// from the graded policy, and how much from the estimator each scheme is
+// paired with; and how sensitive Pipeline Gating is to its threshold (the
+// paper notes the threshold "may palliate the effect of the aggressive
+// gating policy").
+
+// EstimatorCrossExperiments pairs each mechanism with each estimator:
+// the paper's pairings (C2+BPRU, PG+JRS) plus the two crosses.
+func EstimatorCrossExperiments() []Experiment {
+	c2 := BestExperiment()
+	c2.ID = "C2-bpru"
+	c2.Label = "Selective Throttling C2 + BPRU (paper pairing)"
+
+	c2jrs := BestExperiment()
+	c2jrs.ID = "C2-jrs"
+	c2jrs.Label = "Selective Throttling C2 + JRS (cross)"
+	c2jrs.Estimator = EstJRS
+
+	pgjrs := Experiment{
+		ID:        "PG-jrs",
+		Label:     "Pipeline Gating + JRS (paper pairing)",
+		Policy:    core.PipelineGating(2),
+		Estimator: EstJRS,
+	}
+	pgbpru := Experiment{
+		ID:        "PG-bpru",
+		Label:     "Pipeline Gating + BPRU (cross)",
+		Policy:    core.PipelineGating(2),
+		Estimator: EstBPRU,
+	}
+	return []Experiment{c2, c2jrs, pgjrs, pgbpru}
+}
+
+// GateThresholdExperiments sweeps Pipeline Gating's threshold (number of
+// unresolved low-confidence branches before fetch is stalled). Threshold 1
+// is maximally aggressive; large thresholds converge to the baseline.
+func GateThresholdExperiments() []Experiment {
+	var exps []Experiment
+	for _, n := range []int{1, 2, 3, 4} {
+		exps = append(exps, Experiment{
+			ID:        "PG-" + string(rune('0'+n)),
+			Label:     "Pipeline Gating, threshold " + string(rune('0'+n)),
+			Policy:    core.PipelineGating(n),
+			Estimator: EstJRS,
+		})
+	}
+	return exps
+}
+
+// EscalationAblationExperiments contrasts the paper's escalation rule
+// (later VLC tightens an active LC heuristic — implicit in the controller's
+// max-over-active-triggers design) with a VLC-only and an LC-only variant
+// of C2, showing that both classes contribute.
+func EscalationAblationExperiments() []Experiment {
+	full := BestExperiment()
+	full.ID = "C2-full"
+	full.Label = "C2: both classes act"
+
+	vlcOnly := Experiment{
+		ID:        "C2-vlc",
+		Label:     "C2 minus LC action (VLC stall only)",
+		Policy:    core.Selective("C2-vlc", core.Spec{}, core.Spec{Fetch: core.RateStall}),
+		Estimator: EstBPRU,
+	}
+	lcOnly := Experiment{
+		ID:    "C2-lc",
+		Label: "C2 minus VLC action (LC quarter+noselect only)",
+		Policy: core.Selective("C2-lc",
+			core.Spec{Fetch: core.RateQuarter, NoSelect: true}, core.Spec{}),
+		Estimator: EstBPRU,
+	}
+	return []Experiment{full, vlcOnly, lcOnly}
+}

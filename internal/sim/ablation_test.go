@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"testing"
+
+	"selthrottle/internal/prog"
+)
+
+func TestAblationSeriesWellFormed(t *testing.T) {
+	cross := EstimatorCrossExperiments()
+	if len(cross) != 4 {
+		t.Fatalf("estimator cross has %d experiments", len(cross))
+	}
+	seen := map[string]bool{}
+	for _, e := range cross {
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if cross[0].Estimator != EstBPRU || cross[1].Estimator != EstJRS {
+		t.Error("C2 estimator pairing wrong")
+	}
+	if !cross[2].Policy.Gating || !cross[3].Policy.Gating {
+		t.Error("PG pairings missing gating")
+	}
+
+	thr := GateThresholdExperiments()
+	if len(thr) != 4 {
+		t.Fatalf("threshold sweep has %d experiments", len(thr))
+	}
+	for i, e := range thr {
+		if e.Policy.GateThreshold != i+1 {
+			t.Errorf("experiment %d threshold %d", i, e.Policy.GateThreshold)
+		}
+	}
+
+	esc := EscalationAblationExperiments()
+	if len(esc) != 3 {
+		t.Fatalf("escalation ablation has %d experiments", len(esc))
+	}
+	if esc[1].Policy.ByClass[2].Fetch != 0 { // LC spec empty in VLC-only
+		t.Error("VLC-only variant still throttles LC")
+	}
+}
+
+func TestGateThresholdMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation run")
+	}
+	profiles := []prog.Profile{}
+	for _, n := range []string{"go", "twolf"} {
+		p, _ := prog.ProfileByName(n)
+		profiles = append(profiles, p)
+	}
+	opts := Options{Instructions: 60000, Warmup: 15000, Profiles: profiles}
+	fr := RunFigure("thresholds", GateThresholdExperiments(), opts)
+	// Lower thresholds gate more: more power saved, more slowdown.
+	t1, _ := fr.Row("PG-1")
+	t4, _ := fr.Row("PG-4")
+	if t1.Average.PowerSaving <= t4.Average.PowerSaving {
+		t.Errorf("threshold 1 should save more power than 4: %.1f vs %.1f",
+			t1.Average.PowerSaving, t4.Average.PowerSaving)
+	}
+	if t1.Average.Speedup >= t4.Average.Speedup {
+		t.Errorf("threshold 1 should cost more performance than 4: %.3f vs %.3f",
+			t1.Average.Speedup, t4.Average.Speedup)
+	}
+}
+
+func TestEscalationAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation run")
+	}
+	profiles := []prog.Profile{}
+	for _, n := range []string{"go", "gzip"} {
+		p, _ := prog.ProfileByName(n)
+		profiles = append(profiles, p)
+	}
+	opts := Options{Instructions: 60000, Warmup: 15000, Profiles: profiles}
+	fr := RunFigure("escalation", EscalationAblationExperiments(), opts)
+	full, _ := fr.Row("C2-full")
+	vlc, _ := fr.Row("C2-vlc")
+	lc, _ := fr.Row("C2-lc")
+	// Both classes contribute power savings; the full policy saves at
+	// least as much as either half.
+	if full.Average.PowerSaving < vlc.Average.PowerSaving-0.5 ||
+		full.Average.PowerSaving < lc.Average.PowerSaving-0.5 {
+		t.Errorf("full C2 (%.1f) saves less power than a component (vlc %.1f, lc %.1f)",
+			full.Average.PowerSaving, vlc.Average.PowerSaving, lc.Average.PowerSaving)
+	}
+	if vlc.Average.PowerSaving <= 0 || lc.Average.PowerSaving <= 0 {
+		t.Errorf("component policies save no power: vlc %.1f lc %.1f",
+			vlc.Average.PowerSaving, lc.Average.PowerSaving)
+	}
+}

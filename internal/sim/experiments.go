@@ -1,0 +1,145 @@
+package sim
+
+import "selthrottle/internal/core"
+
+// Experiment is one labeled configuration of the paper's evaluation: a
+// throttling policy (or Pipeline Gating, or an oracle mode) plus the
+// estimator it uses. The structural configuration (depth, sizes, workload
+// length) comes from the harness options.
+type Experiment struct {
+	ID        string
+	Label     string
+	Policy    core.Policy
+	Estimator EstimatorKind
+	Oracle    core.Oracle
+}
+
+// spec shorthand constructors.
+func fspec(f core.Rate) core.Spec     { return core.Spec{Fetch: f} }
+func fdspec(f, d core.Rate) core.Spec { return core.Spec{Fetch: f, Decode: d} }
+func nsel(s core.Spec) core.Spec      { s.NoSelect = true; return s }
+func selective(id string, lc, vlc core.Spec) core.Policy {
+	return core.Selective(id, lc, vlc)
+}
+
+// pipelineGating is the paper's comparison point: JRS estimator, MDC
+// threshold 12, gating threshold 2.
+func pipelineGating(id string) Experiment {
+	return Experiment{
+		ID:        id,
+		Label:     "Pipeline Gating (JRS)",
+		Policy:    core.PipelineGating(2),
+		Estimator: EstJRS,
+	}
+}
+
+// OracleExperiments returns the Section 3 limit study (Figure 1).
+func OracleExperiments() []Experiment {
+	return []Experiment{
+		{ID: "oracle-fetch", Label: "oracle fetch", Policy: core.Baseline(), Estimator: EstBPRU, Oracle: core.OracleFetch},
+		{ID: "oracle-decode", Label: "oracle decode", Policy: core.Baseline(), Estimator: EstBPRU, Oracle: core.OracleDecode},
+		{ID: "oracle-select", Label: "oracle select", Policy: core.Baseline(), Estimator: EstBPRU, Oracle: core.OracleSelect},
+	}
+}
+
+// FetchExperiments returns Figure 3's A-series: graded fetch throttling plus
+// the Pipeline Gating comparison.
+func FetchExperiments() []Experiment {
+	half := core.RateHalf
+	quarter := core.RateQuarter
+	stall := core.RateStall
+	exps := []Experiment{
+		{ID: "A1", Label: "LC: fetch/2, VLC: fetch/2", Policy: selective("A1", fspec(half), fspec(half))},
+		{ID: "A2", Label: "LC: fetch/2, VLC: fetch/4", Policy: selective("A2", fspec(half), fspec(quarter))},
+		{ID: "A3", Label: "LC: fetch/2, VLC: fetch=0", Policy: selective("A3", fspec(half), fspec(stall))},
+		{ID: "A4", Label: "LC: fetch/4, VLC: fetch/4", Policy: selective("A4", fspec(quarter), fspec(quarter))},
+		{ID: "A5", Label: "LC: fetch/4, VLC: fetch=0", Policy: selective("A5", fspec(quarter), fspec(stall))},
+		{ID: "A6", Label: "LC: fetch=0, VLC: fetch=0", Policy: selective("A6", fspec(stall), fspec(stall))},
+	}
+	for i := range exps {
+		exps[i].Estimator = EstBPRU
+	}
+	return append(exps, pipelineGating("A7"))
+}
+
+// DecodeExperiments returns Figure 4's B-series: decode throttling alone and
+// combined with fetch throttling. Every experiment stalls fetch on VLC
+// branches (the best VLC action from the A-series analysis).
+func DecodeExperiments() []Experiment {
+	full := core.RateFull
+	half := core.RateHalf
+	quarter := core.RateQuarter
+	stall := core.RateStall
+	vlc := fspec(stall)
+	exps := []Experiment{
+		{ID: "B1", Label: "LC: fetch/1+decode/2", Policy: selective("B1", fdspec(full, half), vlc)},
+		{ID: "B2", Label: "LC: fetch/1+decode/4", Policy: selective("B2", fdspec(full, quarter), vlc)},
+		{ID: "B3", Label: "LC: fetch/1+decode=0", Policy: selective("B3", fdspec(full, stall), vlc)},
+		{ID: "B4", Label: "LC: fetch/2+decode/2", Policy: selective("B4", fdspec(half, half), vlc)},
+		{ID: "B5", Label: "LC: fetch/2+decode/4", Policy: selective("B5", fdspec(half, quarter), vlc)},
+		{ID: "B6", Label: "LC: fetch/2+decode=0", Policy: selective("B6", fdspec(half, stall), vlc)},
+		{ID: "B7", Label: "LC: fetch/4+decode/4", Policy: selective("B7", fdspec(quarter, quarter), vlc)},
+		{ID: "B8", Label: "LC: fetch/4+decode=0", Policy: selective("B8", fdspec(quarter, stall), vlc)},
+	}
+	for i := range exps {
+		exps[i].Estimator = EstBPRU
+	}
+	return append(exps, pipelineGating("B9"))
+}
+
+// SelectionExperiments returns Figure 5's C-series: the best fetch/decode
+// combinations with and without the novel selection-throttling heuristic.
+func SelectionExperiments() []Experiment {
+	half := core.RateHalf
+	quarter := core.RateQuarter
+	stall := core.RateStall
+	vlc := fspec(stall)
+	exps := []Experiment{
+		{ID: "C1", Label: "VLC: fet=0, LC: fet/4", Policy: selective("C1", fspec(quarter), vlc)},
+		{ID: "C2", Label: "VLC: fet=0, LC: fet/4+noselect", Policy: selective("C2", nsel(fspec(quarter)), vlc)},
+		{ID: "C3", Label: "VLC: fet=0, LC: fet/2+dec/4", Policy: selective("C3", fdspec(half, quarter), vlc)},
+		{ID: "C4", Label: "VLC: fet=0, LC: fet/2+dec/4+noselect", Policy: selective("C4", nsel(fdspec(half, quarter)), vlc)},
+		{ID: "C5", Label: "VLC: fet=0, LC: fet/4+dec/4", Policy: selective("C5", fdspec(quarter, quarter), vlc)},
+		{ID: "C6", Label: "VLC: fet=0, LC: fet/4+dec/4+noselect", Policy: selective("C6", nsel(fdspec(quarter, quarter)), vlc)},
+	}
+	for i := range exps {
+		exps[i].Estimator = EstBPRU
+	}
+	return append(exps, pipelineGating("C7"))
+}
+
+// BestExperiment returns C2, the paper's recommended configuration: VLC
+// stalls fetch, LC quarters fetch bandwidth and sets no-select.
+func BestExperiment() Experiment {
+	for _, e := range SelectionExperiments() {
+		if e.ID == "C2" {
+			return e
+		}
+	}
+	panic("sim: C2 missing")
+}
+
+// ExperimentByID finds an experiment in any of the standard series.
+func ExperimentByID(id string) (Experiment, bool) {
+	for _, set := range [][]Experiment{
+		OracleExperiments(), FetchExperiments(), DecodeExperiments(), SelectionExperiments(),
+	} {
+		for _, e := range set {
+			if e.ID == id {
+				return e, true
+			}
+		}
+	}
+	return Experiment{}, false
+}
+
+// Apply stamps the experiment's policy, estimator, and oracle mode onto a
+// base configuration.
+func (e Experiment) Apply(cfg Config) Config {
+	cfg.Policy = e.Policy
+	if e.Estimator != "" {
+		cfg.Estimator = e.Estimator
+	}
+	cfg.Pipe.Oracle = e.Oracle
+	return cfg
+}

@@ -1,0 +1,273 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"selthrottle/internal/power"
+	"selthrottle/internal/prog"
+)
+
+// Options controls a figure-level reproduction run.
+type Options struct {
+	Instructions uint64
+	Warmup       uint64
+	Depth        int // total pipeline stages (0 = paper baseline, 14)
+	PredBytes    int // 0 = 8 KB
+	ConfBytes    int // 0 = 8 KB
+	Profiles     []prog.Profile
+}
+
+// withDefaults fills unset options with paper-baseline values.
+func (o Options) withDefaults() Options {
+	if o.Instructions == 0 {
+		o.Instructions = prog.DefaultInstructions
+	}
+	if o.Warmup == 0 {
+		o.Warmup = o.Instructions / 4
+	}
+	if o.Depth == 0 {
+		o.Depth = 14
+	}
+	if o.PredBytes == 0 {
+		o.PredBytes = 8 << 10
+	}
+	if o.ConfBytes == 0 {
+		o.ConfBytes = 8 << 10
+	}
+	if o.Profiles == nil {
+		o.Profiles = prog.Profiles()
+	}
+	return o
+}
+
+// baseConfig builds the run configuration implied by the options.
+func (o Options) baseConfig() Config {
+	cfg := Default()
+	cfg.Pipe.SetDepth(o.Depth)
+	cfg.PredBytes = o.PredBytes
+	cfg.ConfBytes = o.ConfBytes
+	cfg.Instructions = o.Instructions
+	cfg.Warmup = o.Warmup
+	return cfg
+}
+
+// ExperimentRow is one experiment's outcome across all benchmarks.
+type ExperimentRow struct {
+	Experiment Experiment
+	PerBench   []Comparison // profile order
+	Average    Comparison
+}
+
+// FigureResult is the full reproduction of one figure.
+type FigureResult struct {
+	Name      string
+	Options   Options
+	Baselines []Result // per profile
+	Rows      []ExperimentRow
+}
+
+// RunFigure reproduces a bar-chart figure: it runs the baseline and every
+// experiment on every profile, producing the paper's four metric groups.
+// Experiments run in parallel across (experiment x benchmark).
+func RunFigure(name string, exps []Experiment, opts Options) *FigureResult {
+	opts = opts.withDefaults()
+	base := opts.baseConfig()
+
+	fr := &FigureResult{Name: name, Options: opts}
+	fr.Baselines = RunAll(base, opts.Profiles)
+
+	fr.Rows = make([]ExperimentRow, len(exps))
+	var wg sync.WaitGroup
+	for i, e := range exps {
+		wg.Add(1)
+		go func(i int, e Experiment) {
+			defer wg.Done()
+			cfg := e.Apply(base)
+			results := RunAll(cfg, opts.Profiles)
+			row := ExperimentRow{Experiment: e, PerBench: make([]Comparison, len(results))}
+			for j, r := range results {
+				row.PerBench[j] = Compare(fr.Baselines[j], r)
+			}
+			row.Average = AverageComparison(row.PerBench)
+			fr.Rows[i] = row
+		}(i, e)
+	}
+	wg.Wait()
+	return fr
+}
+
+// Row returns the row for an experiment ID, if present.
+func (fr *FigureResult) Row(id string) (ExperimentRow, bool) {
+	for _, r := range fr.Rows {
+		if r.Experiment.ID == id {
+			return r, true
+		}
+	}
+	return ExperimentRow{}, false
+}
+
+// SweepPoint is one x-axis point of a sensitivity sweep (Figures 6 and 7):
+// the average metrics of the best experiment (C2) against the matching
+// baseline.
+type SweepPoint struct {
+	X       int // depth in stages, or table size in KB
+	Average Comparison
+}
+
+// DepthSweep reproduces Figure 6: pipeline depths 6..28 (step 2), C2 vs the
+// baseline at each depth.
+func DepthSweep(opts Options, depths []int) []SweepPoint {
+	if depths == nil {
+		for d := 6; d <= 28; d += 2 {
+			depths = append(depths, d)
+		}
+	}
+	points := make([]SweepPoint, len(depths))
+	var wg sync.WaitGroup
+	for i, d := range depths {
+		wg.Add(1)
+		go func(i, d int) {
+			defer wg.Done()
+			o := opts
+			o.Depth = d
+			fr := RunFigure(fmt.Sprintf("depth-%d", d), []Experiment{BestExperiment()}, o)
+			points[i] = SweepPoint{X: d, Average: fr.Rows[0].Average}
+		}(i, d)
+	}
+	wg.Wait()
+	sort.Slice(points, func(i, j int) bool { return points[i].X < points[j].X })
+	return points
+}
+
+// SizeSweep reproduces Figure 7: total predictor+estimator budgets of 8, 16,
+// 32, and 64 KB, split half/half, C2 vs a baseline using the same predictor.
+func SizeSweep(opts Options, totalsKB []int) []SweepPoint {
+	if totalsKB == nil {
+		totalsKB = []int{8, 16, 32, 64}
+	}
+	points := make([]SweepPoint, len(totalsKB))
+	var wg sync.WaitGroup
+	for i, kb := range totalsKB {
+		wg.Add(1)
+		go func(i, kb int) {
+			defer wg.Done()
+			o := opts
+			o.PredBytes = kb * 1024 / 2
+			o.ConfBytes = kb * 1024 / 2
+			fr := RunFigure(fmt.Sprintf("size-%dKB", kb), []Experiment{BestExperiment()}, o)
+			points[i] = SweepPoint{X: kb, Average: fr.Rows[0].Average}
+		}(i, kb)
+	}
+	wg.Wait()
+	sort.Slice(points, func(i, j int) bool { return points[i].X < points[j].X })
+	return points
+}
+
+// Table1Result is the reproduction of Table 1: the average baseline power
+// breakdown and the fraction of overall power wasted by mis-speculated
+// instructions, per unit.
+type Table1Result struct {
+	TotalWatts   float64
+	Shares       [power.NumUnits]float64 // fraction of overall power per unit
+	WastedShares [power.NumUnits]float64 // fraction of overall power wasted, per unit
+	WastedTotal  float64                 // overall wasted fraction (paper: 27.9 %)
+	Utilization  [power.NumUnits]float64 // measured, for calibration
+	Results      []Result
+}
+
+// RunTable1 reproduces Table 1 from baseline runs across the profiles.
+func RunTable1(opts Options) *Table1Result {
+	opts = opts.withDefaults()
+	results := RunAll(opts.baseConfig(), opts.Profiles)
+	out := &Table1Result{Results: results}
+	n := float64(len(results))
+	params := power.DefaultParams()
+	for _, r := range results {
+		out.TotalWatts += r.AvgPower / n
+		for u := power.Unit(0); u < power.NumUnits; u++ {
+			out.Shares[u] += r.Power.UnitEnergy[u] / r.Power.TotalEnergy / n
+			out.WastedShares[u] += r.Power.UnitWasted[u] / r.Power.TotalEnergy / n
+		}
+		out.WastedTotal += r.Power.WastedEnergy / r.Power.TotalEnergy / n
+		for u := power.Unit(0); u < power.NumUnits; u++ {
+			// Recover the run's average utilization from its energy share.
+			_ = params
+			out.Utilization[u] += utilOf(r, u) / n
+		}
+	}
+	return out
+}
+
+// utilOf back-computes a unit's average utilization from the energy report.
+func utilOf(r Result, u power.Unit) float64 {
+	params := power.DefaultParams()
+	if r.Power.Cycles == 0 {
+		return 0
+	}
+	cyc := float64(r.Power.Cycles)
+	e := r.Power.UnitEnergy[u]
+	// e = max*(idle + (1-idle)*util)*cyc/f  =>  util = ...
+	max := params.MaxWatts[u]
+	if max == 0 {
+		return 0
+	}
+	x := e * params.FreqHz / (max * cyc)
+	return (x - params.IdleFrac) / (1 - params.IdleFrac)
+}
+
+// Table2Row is one benchmark's characteristics: the paper's reported values
+// next to the synthetic profile's measured behaviour.
+type Table2Row struct {
+	Profile        prog.Profile
+	MeasuredMiss   float64 // committed-branch misprediction rate
+	BranchFraction float64 // conditional branches / committed instructions
+	IPC            float64
+}
+
+// RunTable2 reproduces Table 2 by measuring each profile under the baseline.
+func RunTable2(opts Options) []Table2Row {
+	opts = opts.withDefaults()
+	results := RunAll(opts.baseConfig(), opts.Profiles)
+	rows := make([]Table2Row, len(results))
+	for i, r := range results {
+		rows[i] = Table2Row{
+			Profile:        opts.Profiles[i],
+			MeasuredMiss:   r.MissRate,
+			BranchFraction: float64(r.Stats.CondBranches) / float64(r.Stats.Committed),
+			IPC:            r.IPC,
+		}
+	}
+	return rows
+}
+
+// ConfidenceResult reports an estimator's measured operating point.
+type ConfidenceResult struct {
+	Estimator EstimatorKind
+	SPEC      float64
+	PVN       float64
+	LowFrac   float64
+}
+
+// RunConfidence measures SPEC/PVN for both estimators across the profiles
+// (paper §4.3: BPRU ≈ 60 %/45 %, JRS ≈ 90 %/24 %).
+func RunConfidence(opts Options) []ConfidenceResult {
+	opts = opts.withDefaults()
+	out := make([]ConfidenceResult, 0, 2)
+	for _, kind := range []EstimatorKind{EstBPRU, EstJRS} {
+		cfg := opts.baseConfig()
+		cfg.Estimator = kind
+		results := RunAll(cfg, opts.Profiles)
+		var cr ConfidenceResult
+		cr.Estimator = kind
+		n := float64(len(results))
+		for _, r := range results {
+			cr.SPEC += r.Stats.Quality.SPEC() / n
+			cr.PVN += r.Stats.Quality.PVN() / n
+			cr.LowFrac += r.Stats.Quality.LowFrac() / n
+		}
+		out = append(out, cr)
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+
+	"selthrottle/internal/power"
+)
+
+// WriteFigure renders a figure reproduction as four metric tables
+// (speedup, power savings, energy savings, E-D improvement), matching the
+// paper's four plot groups with one column per benchmark plus the average.
+func WriteFigure(w io.Writer, fr *FigureResult) {
+	fmt.Fprintf(w, "== %s  (depth=%d, pred=%dKB, conf=%dKB, %d instr/bench)\n",
+		fr.Name, fr.Options.Depth, fr.Options.PredBytes/1024,
+		fr.Options.ConfBytes/1024, fr.Options.Instructions)
+	for _, r := range fr.Rows {
+		fmt.Fprintf(w, "   %-4s %s\n", r.Experiment.ID+":", r.Experiment.Label)
+	}
+
+	metric := func(title string, get func(Comparison) float64, format string) {
+		fmt.Fprintf(w, "\n-- %s\n", title)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprint(tw, "exp")
+		for _, b := range fr.Baselines {
+			fmt.Fprintf(tw, "\t%s", b.Benchmark)
+		}
+		fmt.Fprint(tw, "\tAVG\n")
+		for _, r := range fr.Rows {
+			fmt.Fprint(tw, r.Experiment.ID)
+			for _, c := range r.PerBench {
+				fmt.Fprintf(tw, "\t"+format, get(c))
+			}
+			fmt.Fprintf(tw, "\t"+format+"\n", get(r.Average))
+		}
+		tw.Flush()
+	}
+	metric("Speedup (x; <1 = slowdown)", func(c Comparison) float64 { return c.Speedup }, "%.3f")
+	metric("Power savings (%)", func(c Comparison) float64 { return c.PowerSaving }, "%.1f")
+	metric("Energy savings (%)", func(c Comparison) float64 { return c.EnergySaving }, "%.1f")
+	metric("Energy-Delay improvement (%)", func(c Comparison) float64 { return c.EDImprovement }, "%.1f")
+}
+
+// WriteSweep renders a sensitivity sweep (Figures 6/7).
+func WriteSweep(w io.Writer, title, xlabel string, points []SweepPoint) {
+	fmt.Fprintf(w, "== %s\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "%s\tspeedup\tpower sav%%\tenergy sav%%\tE-D improv%%\n", xlabel)
+	for _, p := range points {
+		fmt.Fprintf(tw, "%d\t%.3f\t%.1f\t%.1f\t%.1f\n",
+			p.X, p.Average.Speedup, p.Average.PowerSaving,
+			p.Average.EnergySaving, p.Average.EDImprovement)
+	}
+	tw.Flush()
+}
+
+// WriteTable1 renders the Table 1 reproduction with the paper's values
+// alongside for direct comparison.
+func WriteTable1(w io.Writer, t *Table1Result) {
+	fmt.Fprintf(w, "== Table 1: power breakdown and fraction wasted by mis-speculated instructions\n")
+	fmt.Fprintf(w, "overall avg power: %.1f W (paper: %.1f W)\n", t.TotalWatts, power.TotalWatts)
+	fmt.Fprintf(w, "overall wasted:    %.1f%% (paper: 27.9%%)\n\n", 100*t.WastedTotal)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "unit\tshare%\tpaper%\twasted% of overall\tpaper%\n")
+	for u := power.Unit(0); u < power.NumUnits; u++ {
+		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%.1f\t%.1f\n",
+			u, 100*t.Shares[u], 100*power.Table1Shares[u],
+			100*t.WastedShares[u], 100*power.Table1WastedShares[u])
+	}
+	tw.Flush()
+}
+
+// WriteTable2 renders the Table 2 reproduction.
+func WriteTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintln(w, "== Table 2: benchmark characteristics (synthetic profiles vs paper)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "benchmark\tpaper input\tpaper Minstr\tpaper Mbranch\tgshare miss% (meas)\tgshare miss% (paper)\tbranch frac\tIPC\n")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%.1f\t%.1f\t%.3f\t%.2f\n",
+			r.Profile.Name, r.Profile.PaperInput, r.Profile.PaperMInsts,
+			r.Profile.PaperMBranch, 100*r.MeasuredMiss, r.Profile.PaperMissPct,
+			r.BranchFraction, r.IPC)
+	}
+	tw.Flush()
+}
+
+// WriteTable3 renders the simulated-processor configuration (Table 3).
+func WriteTable3(w io.Writer, cfg Config) {
+	p := cfg.Pipe
+	fmt.Fprintln(w, "== Table 3: configuration of the simulated processor")
+	rows := [][2]string{
+		{"Fetch engine", fmt.Sprintf("up to %d instr/cycle, %d taken branches, %d extra cycles of misprediction penalty",
+			p.FetchWidth, p.MaxTakenPerCycle, p.MispredictExtra)},
+		{"BTB", fmt.Sprintf("%d entries, %d-way", p.BTBEntries, p.BTBWays)},
+		{"Execution engine", fmt.Sprintf("issues up to %d instr/cycle, %d-entry window, %d-entry load/store queue",
+			p.IssueWidth, p.WindowSize, p.LSQSize)},
+		{"Functional units", "8 int alu, 2 int mult, 2 mem ports, 8 FP alu, 1 FP mult"},
+		{"L1 I-cache", fmt.Sprintf("%d KB, %d-way, %d B/line, %d cycle hit",
+			p.Mem.L1ISize>>10, p.Mem.L1IWays, p.Mem.L1ILine, p.Mem.L1HitLat)},
+		{"L1 D-cache", fmt.Sprintf("%d KB, %d-way, %d B/line, %d cycle hit",
+			p.Mem.L1DSize>>10, p.Mem.L1DWays, p.Mem.L1DLine, p.Mem.L1HitLat)},
+		{"L2 unified", fmt.Sprintf("%d KB, %d-way, %d B/line, %d cycle hit, %d cycle miss",
+			p.Mem.L2Size>>10, p.Mem.L2Ways, p.Mem.L2Line, p.Mem.L2HitLat, p.Mem.L2MissLat)},
+		{"TLB", fmt.Sprintf("%d entries, fully associative", p.Mem.TLBEntries)},
+		{"Pipeline", fmt.Sprintf("%d stages fetch-to-commit (%d fetch + %d decode + 4 backend)",
+			p.Depth(), p.FetchStages, p.DecodeStages)},
+		{"Branch predictor", fmt.Sprintf("gshare, %d KB", cfg.PredBytes>>10)},
+		{"Confidence estimator", fmt.Sprintf("%s, %d KB", cfg.Estimator, cfg.ConfBytes>>10)},
+		{"Technology", "0.18 um, Vdd = 2.0 V, 1200 MHz (power model constants)"},
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\n", r[0], r[1])
+	}
+	tw.Flush()
+}
+
+// WriteConfidence renders the estimator quality reproduction (§4.3).
+func WriteConfidence(w io.Writer, crs []ConfidenceResult) {
+	fmt.Fprintln(w, "== Confidence estimator quality (paper: BPRU SPEC=60% PVN=45%; JRS SPEC=90% PVN=24%)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "estimator\tSPEC%\tPVN%\tlow-conf frac%\n")
+	for _, c := range crs {
+		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%.1f\n",
+			strings.ToUpper(string(c.Estimator)), 100*c.SPEC, 100*c.PVN, 100*c.LowFrac)
+	}
+	tw.Flush()
+}

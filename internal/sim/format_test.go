@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"selthrottle/internal/power"
+	"selthrottle/internal/prog"
+)
+
+func TestWriteTable1Renders(t *testing.T) {
+	t1 := &Table1Result{TotalWatts: 55.0, WastedTotal: 0.18}
+	for u := power.Unit(0); u < power.NumUnits; u++ {
+		t1.Shares[u] = power.Table1Shares[u]
+		t1.WastedShares[u] = power.Table1WastedShares[u]
+	}
+	var sb strings.Builder
+	WriteTable1(&sb, t1)
+	out := sb.String()
+	for _, want := range []string{"55.0 W", "56.4 W", "27.9%", "icache", "clock", "resultbus"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 rendering missing %q", want)
+		}
+	}
+}
+
+func TestWriteTable2Renders(t *testing.T) {
+	p, _ := prog.ProfileByName("go")
+	rows := []Table2Row{{Profile: p, MeasuredMiss: 0.191, BranchFraction: 0.09, IPC: 1.5}}
+	var sb strings.Builder
+	WriteTable2(&sb, rows)
+	out := sb.String()
+	for _, want := range []string{"go", "19.1", "19.7", "9 9"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 rendering missing %q", want)
+		}
+	}
+}
+
+func TestWriteSweepRenders(t *testing.T) {
+	points := []SweepPoint{
+		{X: 6, Average: Comparison{Speedup: 0.95, PowerSaving: 10, EnergySaving: 5, EDImprovement: 1}},
+		{X: 28, Average: Comparison{Speedup: 0.89, PowerSaving: 20, EnergySaving: 10, EDImprovement: 2}},
+	}
+	var sb strings.Builder
+	WriteSweep(&sb, "depth sweep", "stages", points)
+	out := sb.String()
+	for _, want := range []string{"depth sweep", "stages", "0.950", "20.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep rendering missing %q", want)
+		}
+	}
+}
+
+func TestWriteConfidenceRenders(t *testing.T) {
+	crs := []ConfidenceResult{
+		{Estimator: EstBPRU, SPEC: 0.65, PVN: 0.42, LowFrac: 0.17},
+		{Estimator: EstJRS, SPEC: 0.90, PVN: 0.26, LowFrac: 0.34},
+	}
+	var sb strings.Builder
+	WriteConfidence(&sb, crs)
+	out := sb.String()
+	for _, want := range []string{"BPRU", "JRS", "65.0", "90.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("confidence rendering missing %q", want)
+		}
+	}
+}
+
+func TestUtilOfInvertsAnalyze(t *testing.T) {
+	// utilOf must recover the utilization that produced a unit's energy.
+	var m power.Meter
+	params := power.DefaultParams()
+	for i := 0; i < 500; i++ {
+		m.AddCycle()
+		m.Add(power.UnitICache, 4)
+	}
+	r := Result{Power: m.Analyze(params)}
+	want := 4.0 / params.Ports[power.UnitICache]
+	got := utilOf(r, power.UnitICache)
+	if got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("utilOf = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,248 @@
+// Package sim ties the substrates together into runnable experiments: it
+// owns the simulation configuration (Table 3 defaults), executes single
+// runs (workload + predictor + estimator + policy + pipeline + power meter),
+// compares runs against baselines with the paper's metrics (speedup, power
+// savings, energy savings, energy-delay improvement), and defines every
+// experiment of the evaluation section (Figures 1 and 3-7, Tables 1-3).
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"selthrottle/internal/bpred"
+	"selthrottle/internal/conf"
+	"selthrottle/internal/core"
+	"selthrottle/internal/pipe"
+	"selthrottle/internal/power"
+	"selthrottle/internal/prog"
+)
+
+// EstimatorKind selects the confidence estimator for a run.
+type EstimatorKind string
+
+// Estimator kinds.
+const (
+	EstBPRU EstimatorKind = "bpru" // the paper's estimator (Selective Throttling)
+	EstJRS  EstimatorKind = "jrs"  // Manne et al.'s estimator (Pipeline Gating)
+)
+
+// Config describes one simulation run.
+type Config struct {
+	Pipe pipe.Config
+
+	PredBytes int // gshare size (paper baseline: 8 KB)
+	ConfBytes int // confidence estimator size (paper baseline: 8 KB)
+
+	Estimator    EstimatorKind
+	JRSThreshold int // MDC threshold (paper: 12)
+
+	Policy core.Policy
+
+	Instructions uint64 // measured instructions
+	Warmup       uint64 // instructions run before measurement starts
+}
+
+// Default returns the paper's baseline configuration: Table 3, 14 stages,
+// 8 KB gshare, 8 KB BPRU, no throttling.
+func Default() Config {
+	return Config{
+		Pipe:         pipe.Default(),
+		PredBytes:    8 << 10,
+		ConfBytes:    8 << 10,
+		Estimator:    EstBPRU,
+		JRSThreshold: 12,
+		Policy:       core.Baseline(),
+		Instructions: prog.DefaultInstructions,
+		Warmup:       prog.DefaultInstructions / 4,
+	}
+}
+
+// Result is the outcome of one run on one benchmark.
+type Result struct {
+	Benchmark string
+	Config    Config
+
+	Stats pipe.Stats   // measured-interval statistics
+	Power power.Report // measured-interval energy breakdown
+
+	IPC      float64
+	MissRate float64
+	Seconds  float64
+	Energy   float64 // joules
+	EDelay   float64 // joule-seconds
+	AvgPower float64 // watts
+}
+
+// newEstimator builds the configured estimator.
+func newEstimator(cfg Config) conf.Estimator {
+	switch cfg.Estimator {
+	case EstJRS:
+		return conf.NewJRS(cfg.ConfBytes, cfg.JRSThreshold)
+	default:
+		return conf.NewBPRU(cfg.ConfBytes)
+	}
+}
+
+// Run executes one configuration on one benchmark profile. The first
+// cfg.Warmup instructions train predictors and caches; measurement covers
+// the next cfg.Instructions.
+func Run(cfg Config, profile prog.Profile) Result {
+	program := getProgram(profile)
+	walker := prog.NewWalker(program)
+	pred := bpred.NewGshare(cfg.PredBytes)
+	est := newEstimator(cfg)
+	ctrl := core.NewController(cfg.Policy)
+	meter := &power.Meter{}
+	pl := pipe.New(cfg.Pipe, walker, pred, est, ctrl, meter)
+
+	pl.Run(cfg.Warmup)
+	meterAtWarm := *meter
+	statsAtWarm := pl.Stats
+
+	pl.Run(cfg.Warmup + cfg.Instructions)
+
+	delta := subMeter(*meter, meterAtWarm)
+	stats := subStats(pl.Stats, statsAtWarm)
+
+	params := power.DefaultParams()
+	report := delta.Analyze(params)
+
+	return Result{
+		Benchmark: profile.Name,
+		Config:    cfg,
+		Stats:     stats,
+		Power:     report,
+		IPC:       stats.IPC(),
+		MissRate:  stats.MissRate(),
+		Seconds:   report.Seconds,
+		Energy:    report.TotalEnergy,
+		EDelay:    report.EnergyDelay,
+		AvgPower:  report.AvgPower,
+	}
+}
+
+// programCache memoizes generated programs: every experiment reuses the same
+// eight CFGs, and generation cost would otherwise dominate short test runs.
+var programCache sync.Map // Profile.Name+seed -> *prog.Program
+
+func getProgram(profile prog.Profile) *prog.Program {
+	key := fmt.Sprintf("%s/%x/%g/%g", profile.Name, profile.Seed, profile.NoiseScale(), profile.HardFreq())
+	if v, ok := programCache.Load(key); ok {
+		return v.(*prog.Program)
+	}
+	p := prog.Generate(profile)
+	actual, _ := programCache.LoadOrStore(key, p)
+	return actual.(*prog.Program)
+}
+
+// subMeter returns a-b field-wise (measurement-interval activity).
+func subMeter(a, b power.Meter) power.Meter {
+	out := a
+	out.Cycles -= b.Cycles
+	for u := range out.Events {
+		out.Events[u] -= b.Events[u]
+		out.Wasted[u] -= b.Wasted[u]
+	}
+	return out
+}
+
+// subStats returns a-b field-wise.
+func subStats(a, b pipe.Stats) pipe.Stats {
+	out := a
+	out.Cycles -= b.Cycles
+	out.Committed -= b.Committed
+	out.Fetched -= b.Fetched
+	out.WrongPathFetched -= b.WrongPathFetched
+	out.WrongPathDecoded -= b.WrongPathDecoded
+	out.WrongPathDispatched -= b.WrongPathDispatched
+	out.WrongPathIssued -= b.WrongPathIssued
+	out.CondBranches -= b.CondBranches
+	out.Mispredicts -= b.Mispredicts
+	out.FetchGatedCycles -= b.FetchGatedCycles
+	out.DecodeGatedCycles -= b.DecodeGatedCycles
+	out.NoSelectStalls -= b.NoSelectStalls
+	out.TrueFlushes -= b.TrueFlushes
+	out.ResolveLatTotal -= b.ResolveLatTotal
+	out.ResolveWindowWait -= b.ResolveWindowWait
+	out.ResolveIssueWait -= b.ResolveIssueWait
+	out.FetchIdleHeld -= b.FetchIdleHeld
+	out.FetchIdleBackPressure -= b.FetchIdleBackPressure
+	out.Quality.Mispred -= b.Quality.Mispred
+	out.Quality.MispredLow -= b.Quality.MispredLow
+	out.Quality.LowLabeled -= b.Quality.LowLabeled
+	out.Quality.Total -= b.Quality.Total
+	for i := range out.Quality.PerClassTotal {
+		out.Quality.PerClassTotal[i] -= b.Quality.PerClassTotal[i]
+		out.Quality.PerClassWrong[i] -= b.Quality.PerClassWrong[i]
+	}
+	return out
+}
+
+// Comparison holds the paper's four headline metrics for one experiment run
+// against its baseline (same benchmark, same structural configuration).
+type Comparison struct {
+	Benchmark string
+
+	Speedup       float64 // baseline time / experiment time (<1 = slowdown)
+	PowerSaving   float64 // percent
+	EnergySaving  float64 // percent
+	EDImprovement float64 // percent
+}
+
+// Compare computes the headline metrics of x against base.
+func Compare(base, x Result) Comparison {
+	return Comparison{
+		Benchmark:     x.Benchmark,
+		Speedup:       base.Seconds / x.Seconds,
+		PowerSaving:   100 * (1 - x.AvgPower/base.AvgPower),
+		EnergySaving:  100 * (1 - x.Energy/base.Energy),
+		EDImprovement: 100 * (1 - x.EDelay/base.EDelay),
+	}
+}
+
+// AverageComparison averages metrics across benchmarks (arithmetic mean of
+// percentages and of the speedup ratio, matching the paper's "Average" bars).
+func AverageComparison(cs []Comparison) Comparison {
+	if len(cs) == 0 {
+		return Comparison{Benchmark: "average"}
+	}
+	var out Comparison
+	out.Benchmark = "average"
+	for _, c := range cs {
+		out.Speedup += c.Speedup
+		out.PowerSaving += c.PowerSaving
+		out.EnergySaving += c.EnergySaving
+		out.EDImprovement += c.EDImprovement
+	}
+	n := float64(len(cs))
+	out.Speedup /= n
+	out.PowerSaving /= n
+	out.EnergySaving /= n
+	out.EDImprovement /= n
+	return out
+}
+
+// RunAll executes a configuration across profiles in parallel and returns
+// results in profile order.
+func RunAll(cfg Config, profiles []prog.Profile) []Result {
+	results := make([]Result, len(profiles))
+	par := runtime.GOMAXPROCS(0)
+	if par > len(profiles) {
+		par = len(profiles)
+	}
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for i, p := range profiles {
+		wg.Add(1)
+		go func(i int, p prog.Profile) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = Run(cfg, p)
+		}(i, p)
+	}
+	wg.Wait()
+	return results
+}

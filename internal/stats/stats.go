@@ -1,0 +1,109 @@
+// Package stats provides the small statistical helpers used by the
+// simulator's metrics and by the experiment harness: arithmetic and geometric
+// means, ratios expressed as percentage savings, and a running accumulator.
+package stats
+
+import "math"
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs, or 0 for an empty slice.
+// Non-positive entries are clamped to a tiny positive value so that a single
+// degenerate run cannot produce NaN in a summary table.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			x = 1e-12
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// SavingsPct expresses "how much smaller is x than base" as a percentage:
+// 100*(1 - x/base). Positive means x improved (shrank) relative to base.
+func SavingsPct(base, x float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (1 - x/base)
+}
+
+// SpeedupX returns base/x, the classic speedup ratio (>1 means x is faster
+// when the inputs are execution times).
+func SpeedupX(base, x float64) float64 {
+	if x == 0 {
+		return 0
+	}
+	return base / x
+}
+
+// Running accumulates a stream of samples and reports count, mean, min, max,
+// and (population) standard deviation without storing the samples.
+type Running struct {
+	n          int
+	mean, m2   float64
+	min, max   float64
+	hasExtrema bool
+}
+
+// Add incorporates one sample (Welford's algorithm).
+func (r *Running) Add(x float64) {
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+	if !r.hasExtrema || x < r.min {
+		r.min = x
+	}
+	if !r.hasExtrema || x > r.max {
+		r.max = x
+	}
+	r.hasExtrema = true
+}
+
+// N returns the number of samples added.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the running mean (0 if no samples).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Min returns the smallest sample (0 if no samples).
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the largest sample (0 if no samples).
+func (r *Running) Max() float64 { return r.max }
+
+// StdDev returns the population standard deviation (0 if fewer than 2
+// samples).
+func (r *Running) StdDev() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return math.Sqrt(r.m2 / float64(r.n))
+}
+
+// Clamp limits x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{4}, 4},
+		{[]float64{1, 2, 3}, 2},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); got != c.want {
+			t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean(2,8) = %v, want 4", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %v, want 0", got)
+	}
+	// Non-positive entries must not produce NaN.
+	if got := GeoMean([]float64{1, 0}); math.IsNaN(got) {
+		t.Error("GeoMean with zero produced NaN")
+	}
+}
+
+func TestGeoMeanLeqMean(t *testing.T) {
+	// AM-GM inequality as a property test.
+	err := quick.Check(func(a, b, c uint16) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		return GeoMean(xs) <= Mean(xs)+1e-9
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSavingsPct(t *testing.T) {
+	if got := SavingsPct(100, 80); math.Abs(got-20) > 1e-12 {
+		t.Errorf("SavingsPct(100,80) = %v, want 20", got)
+	}
+	if got := SavingsPct(100, 120); math.Abs(got+20) > 1e-12 {
+		t.Errorf("SavingsPct(100,120) = %v, want -20", got)
+	}
+	if got := SavingsPct(0, 5); got != 0 {
+		t.Errorf("SavingsPct(0,5) = %v, want 0", got)
+	}
+}
+
+func TestSpeedupX(t *testing.T) {
+	if got := SpeedupX(10, 5); got != 2 {
+		t.Errorf("SpeedupX(10,5) = %v, want 2", got)
+	}
+	if got := SpeedupX(10, 0); got != 0 {
+		t.Errorf("SpeedupX(10,0) = %v, want 0", got)
+	}
+}
+
+func TestRunning(t *testing.T) {
+	var r Running
+	for _, x := range []float64{1, 2, 3, 4} {
+		r.Add(x)
+	}
+	if r.N() != 4 {
+		t.Fatalf("N = %d", r.N())
+	}
+	if math.Abs(r.Mean()-2.5) > 1e-12 {
+		t.Fatalf("Mean = %v", r.Mean())
+	}
+	if r.Min() != 1 || r.Max() != 4 {
+		t.Fatalf("extrema = %v..%v", r.Min(), r.Max())
+	}
+	want := math.Sqrt(1.25) // population stddev of 1..4
+	if math.Abs(r.StdDev()-want) > 1e-12 {
+		t.Fatalf("StdDev = %v, want %v", r.StdDev(), want)
+	}
+}
+
+func TestRunningMatchesDirect(t *testing.T) {
+	err := quick.Check(func(xs []float64) bool {
+		var r Running
+		finite := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				finite = append(finite, x)
+			}
+		}
+		for _, x := range finite {
+			r.Add(x)
+		}
+		if len(finite) == 0 {
+			return r.Mean() == 0
+		}
+		return math.Abs(r.Mean()-Mean(finite)) < 1e-6*(1+math.Abs(Mean(finite)))
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-5, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Fatal("Clamp misbehaves")
+	}
+}

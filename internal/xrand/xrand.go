@@ -1,0 +1,120 @@
+// Package xrand provides small, fast, deterministic random-number utilities
+// used throughout the simulator. Every stream is explicitly seeded: the
+// simulator never consults global randomness, so two runs with the same
+// configuration are bit-identical.
+//
+// The core generator is splitmix64 (Steele, Lea, Flood), which has a 64-bit
+// state, passes BigCrush, and — crucially for this codebase — supports cheap
+// stateless hashing: Hash64 applies one splitmix64 round to its argument,
+// which is how the workload generator derives independent per-branch,
+// per-instruction streams from a single run seed.
+package xrand
+
+// Rand is a deterministic 64-bit pseudo-random generator (splitmix64).
+// The zero value is a valid generator seeded with 0; use New to seed.
+type Rand struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed.
+func New(seed uint64) *Rand {
+	return &Rand{state: seed}
+}
+
+// Seed resets the generator state.
+func (r *Rand) Seed(seed uint64) { r.state = seed }
+
+// Uint64 returns the next 64-bit value in the sequence.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	return mix(r.state)
+}
+
+// mix is the splitmix64 output function.
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Hash64 returns a stateless hash of x: one splitmix64 round.
+// Hash64 is used to derive independent sub-seeds and to make deterministic
+// pseudo-random decisions keyed on identifiers (PCs, sequence numbers).
+func Hash64(x uint64) uint64 {
+	return mix(x + 0x9e3779b97f4a7c15)
+}
+
+// Hash2 hashes a pair of values into one 64-bit result.
+func Hash2(a, b uint64) uint64 {
+	return Hash64(Hash64(a) ^ (b * 0xd6e8feb86659fd93))
+}
+
+// Hash3 hashes a triple of values into one 64-bit result.
+func Hash3(a, b, c uint64) uint64 {
+	return Hash64(Hash2(a, b) ^ (c * 0xa24baed4963ee407))
+}
+
+// Intn returns a value uniformly distributed in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift bounded rejection would be overkill for a
+	// simulator; the bias of a simple modulo is < 2^-40 for our n.
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value uniformly distributed in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Geometric returns a sample from a geometric distribution with mean m
+// (m >= 1): the number of Bernoulli trials up to and including the first
+// success with success probability 1/m. Used for basic-block sizes and
+// dependency distances.
+func (r *Rand) Geometric(m float64) int {
+	if m <= 1 {
+		return 1
+	}
+	p := 1 / m
+	n := 1
+	for !r.Bool(p) {
+		n++
+		if n >= int(16*m) { // clamp the tail so pathological seeds stay bounded
+			break
+		}
+	}
+	return n
+}
+
+// Pick returns an index in [0,len(weights)) chosen with probability
+// proportional to weights[i]. It panics on an empty or all-zero slice.
+func (r *Rand) Pick(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	if len(weights) == 0 || total <= 0 {
+		panic("xrand: Pick with empty or zero weights")
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

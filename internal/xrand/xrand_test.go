@@ -1,0 +1,174 @@
+package xrand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("sequence diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between different seeds", same)
+	}
+}
+
+func TestHash64Stateless(t *testing.T) {
+	if Hash64(12345) != Hash64(12345) {
+		t.Fatal("Hash64 is not a pure function")
+	}
+	if Hash64(12345) == Hash64(12346) {
+		t.Fatal("adjacent inputs collide")
+	}
+}
+
+func TestHash2Hash3Independence(t *testing.T) {
+	// Order must matter.
+	if Hash2(1, 2) == Hash2(2, 1) {
+		t.Fatal("Hash2 is symmetric")
+	}
+	if Hash3(1, 2, 3) == Hash3(3, 2, 1) {
+		t.Fatal("Hash3 is symmetric")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	err := quick.Check(func(seed uint64, n uint16) bool {
+		m := int(n%1000) + 1
+		r := New(seed)
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestBoolExtremes(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestBoolFrequency(t *testing.T) {
+	r := New(9)
+	n, hits := 100000, 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	f := float64(hits) / float64(n)
+	if f < 0.28 || f > 0.32 {
+		t.Fatalf("Bool(0.3) frequency %v out of band", f)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(11)
+	n := 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(r.Geometric(8))
+	}
+	mean := sum / float64(n)
+	if mean < 7.0 || mean > 9.0 {
+		t.Fatalf("Geometric(8) mean %v out of band", mean)
+	}
+}
+
+func TestGeometricMinimum(t *testing.T) {
+	r := New(13)
+	for i := 0; i < 1000; i++ {
+		if r.Geometric(0.5) != 1 {
+			t.Fatal("Geometric(<=1) must return 1")
+		}
+		if r.Geometric(4) < 1 {
+			t.Fatal("Geometric returned < 1")
+		}
+	}
+}
+
+func TestGeometricBounded(t *testing.T) {
+	r := New(17)
+	for i := 0; i < 100000; i++ {
+		if v := r.Geometric(4); v > 64 {
+			t.Fatalf("Geometric(4) tail unbounded: %d", v)
+		}
+	}
+}
+
+func TestPickWeights(t *testing.T) {
+	r := New(19)
+	counts := [3]int{}
+	n := 90000
+	for i := 0; i < n; i++ {
+		counts[r.Pick([]float64{1, 2, 3})]++
+	}
+	// Expected proportions 1/6, 2/6, 3/6.
+	for i, want := range []float64{1.0 / 6, 2.0 / 6, 3.0 / 6} {
+		got := float64(counts[i]) / float64(n)
+		if got < want-0.02 || got > want+0.02 {
+			t.Fatalf("Pick index %d frequency %v, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestPickPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pick(nil) did not panic")
+		}
+	}()
+	New(1).Pick(nil)
+}
+
+func TestSeedResets(t *testing.T) {
+	r := New(5)
+	first := r.Uint64()
+	r.Seed(5)
+	if r.Uint64() != first {
+		t.Fatal("Seed did not reset the stream")
+	}
+}

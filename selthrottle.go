@@ -1,0 +1,84 @@
+// Package selthrottle is a from-scratch reproduction of "Power-Aware Control
+// Speculation through Selective Throttling" (Aragón, González, González;
+// HPCA-9, 2003): a cycle-level out-of-order superscalar simulator with a
+// Wattch-style power model, branch prediction and confidence estimation
+// substrates, the paper's Selective Throttling mechanism, the Pipeline
+// Gating baseline, and a harness that regenerates every table and figure of
+// the paper's evaluation.
+//
+// This root package is the public facade: it re-exports the simulation API
+// from the internal packages so downstream users can run experiments without
+// reaching into internal paths. The building blocks live in:
+//
+//   - internal/prog: synthetic SPECint-like workload substrate (Table 2)
+//   - internal/bpred: gshare / bimodal predictors, BTB, RAS
+//   - internal/conf: JRS and BPRU-style confidence estimation (§4.3)
+//   - internal/cache: L1/L2/TLB hierarchy with bus contention (Table 3)
+//   - internal/pipe: the 8-wide out-of-order core, 6-28 stage front end
+//   - internal/power: Wattch cc3-style per-unit power accounting (Table 1)
+//   - internal/core: Selective Throttling policies, Pipeline Gating, oracles
+//   - internal/sim: configurations, runs, metrics, and experiment series
+//
+// Quick start:
+//
+//	profile, _ := selthrottle.ProfileByName("go")
+//	base := selthrottle.Run(selthrottle.DefaultConfig(), profile)
+//	c2 := selthrottle.BestExperiment()
+//	thr := selthrottle.Run(c2.Apply(selthrottle.DefaultConfig()), profile)
+//	fmt.Println(selthrottle.Compare(base, thr))
+package selthrottle
+
+import (
+	"selthrottle/internal/core"
+	"selthrottle/internal/prog"
+	"selthrottle/internal/sim"
+)
+
+// Re-exported simulation types.
+type (
+	// Config describes one simulation run (processor, tables, policy).
+	Config = sim.Config
+	// Result is the outcome of one run on one benchmark.
+	Result = sim.Result
+	// Comparison holds the paper's four headline metrics against a baseline.
+	Comparison = sim.Comparison
+	// Experiment is one labeled configuration from the paper's evaluation.
+	Experiment = sim.Experiment
+	// Options controls figure-level reproductions.
+	Options = sim.Options
+	// Profile describes one synthetic benchmark (Table 2 calibration).
+	Profile = prog.Profile
+	// Policy maps confidence classes to throttling heuristics.
+	Policy = core.Policy
+	// Spec is one class's heuristic bundle (fetch/decode rate, no-select).
+	Spec = core.Spec
+)
+
+// DefaultConfig returns the paper's baseline configuration: the Table 3
+// processor at 14 stages with an 8 KB gshare and an 8 KB BPRU estimator.
+func DefaultConfig() Config { return sim.Default() }
+
+// Profiles returns the eight benchmark profiles of Table 2.
+func Profiles() []Profile { return prog.Profiles() }
+
+// ProfileByName returns the named benchmark profile.
+func ProfileByName(name string) (Profile, bool) { return prog.ProfileByName(name) }
+
+// Run executes one configuration on one benchmark.
+func Run(cfg Config, profile Profile) Result { return sim.Run(cfg, profile) }
+
+// Compare computes speedup and power/energy/E-D savings of x against base.
+func Compare(base, x Result) Comparison { return sim.Compare(base, x) }
+
+// BestExperiment returns C2, the paper's recommended configuration.
+func BestExperiment() Experiment { return sim.BestExperiment() }
+
+// ExperimentByID looks up any experiment of the paper's evaluation
+// (A1-A7, B1-B9, C1-C7, oracle-fetch/-decode/-select).
+func ExperimentByID(id string) (Experiment, bool) { return sim.ExperimentByID(id) }
+
+// RunFigure reproduces a full figure: every experiment against the baseline
+// across all benchmarks.
+func RunFigure(name string, exps []Experiment, opts Options) *sim.FigureResult {
+	return sim.RunFigure(name, exps, opts)
+}
