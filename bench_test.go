@@ -172,6 +172,22 @@ func BenchmarkAblationEstimatorCross(b *testing.B) {
 	}
 }
 
+// BenchmarkSingleRun measures one scaled-down sim.Run end to end — the unit
+// of work every figure and sweep above is built from — and reports allocs/op
+// so the hot path's allocation behaviour lands in the benchmark trajectory.
+func BenchmarkSingleRun(b *testing.B) {
+	profile, _ := prog.ProfileByName("go")
+	cfg := sim.Default()
+	cfg.Instructions = 32000
+	cfg.Warmup = 8000
+	sim.Run(cfg, profile) // warm the program cache and runner pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Run(cfg, profile)
+	}
+}
+
 // BenchmarkSimulatorThroughput measures raw simulation speed (instructions
 // simulated per wall-clock second), the engineering budget every experiment
 // above spends.

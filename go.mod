@@ -1,0 +1,3 @@
+module selthrottle
+
+go 1.24

@@ -114,6 +114,16 @@ func (g *Gshare) OnMispredict(cookie uint64, taken bool) {
 // SizeBytes implements DirPredictor.
 func (g *Gshare) SizeBytes() int { return len(g.table) / 4 }
 
+// Reset restores the predictor to its as-new state (weakly taken counters,
+// empty history) without reallocating the table, so run contexts can be
+// reused across runs with bit-identical behaviour.
+func (g *Gshare) Reset() {
+	for i := range g.table {
+		g.table[i] = 2
+	}
+	g.ghr = 0
+}
+
 // GHR exposes the speculative history (for tests).
 func (g *Gshare) GHR() uint64 { return g.ghr }
 
@@ -161,6 +171,13 @@ func (b *Bimodal) OnMispredict(uint64, bool) {}
 
 // SizeBytes implements DirPredictor.
 func (b *Bimodal) SizeBytes() int { return len(b.table) / 4 }
+
+// Reset restores the predictor to its as-new state without reallocation.
+func (b *Bimodal) Reset() {
+	for i := range b.table {
+		b.table[i] = 2
+	}
+}
 
 func b2u(b bool) uint64 {
 	if b {

@@ -84,6 +84,13 @@ func (b *BTB) touch(base, w int) {
 // Entries reports the BTB capacity.
 func (b *BTB) Entries() int { return b.sets * b.ways }
 
+// Reset invalidates every entry without reallocating the tables.
+func (b *BTB) Reset() {
+	clear(b.tags)
+	clear(b.target)
+	clear(b.lru)
+}
+
 // RAS is a return-address stack with a simple top-of-stack checkpoint used
 // on branch misprediction recovery. The synthetic workload's returns are
 // steered by the walker (perfect target knowledge), so the RAS here exists
@@ -121,3 +128,6 @@ func (r *RAS) Checkpoint() int { return r.top }
 
 // Restore rewinds the stack pointer to a checkpoint.
 func (r *RAS) Restore(cp int) { r.top = cp }
+
+// Reset empties the stack for reuse by the next run.
+func (r *RAS) Reset() { r.top = 0 }

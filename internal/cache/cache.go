@@ -132,6 +132,14 @@ func (c *Cache) String() string {
 // LineBytes reports the line size.
 func (c *Cache) LineBytes() int { return 1 << c.lineShift }
 
+// Reset invalidates every line and clears statistics without reallocating,
+// restoring the cache to its as-new cold state.
+func (c *Cache) Reset() {
+	clear(c.tags)
+	clear(c.age)
+	c.Accesses, c.Misses = 0, 0
+}
+
 // Config holds the hierarchy parameters (Table 3 defaults via Default).
 type Config struct {
 	L1ISize, L1IWays, L1ILine int
@@ -187,6 +195,16 @@ func NewHierarchy(cfg Config) *Hierarchy {
 		L2:  New("l2", cfg.L2Size, cfg.L2Line, cfg.L2Ways),
 		TLB: NewTLB(cfg.TLBEntries),
 	}
+}
+
+// Reset restores the whole hierarchy to its as-new cold state (empty caches
+// and TLB, free buses) without reallocating any table.
+func (h *Hierarchy) Reset() {
+	h.L1I.Reset()
+	h.L1D.Reset()
+	h.L2.Reset()
+	h.TLB.Reset()
+	h.l2BusFree, h.memBusFree = 0, 0
 }
 
 // InstFetch performs an instruction fetch at pc at the given cycle and
@@ -294,6 +312,13 @@ func (t *TLB) Access(addr uint64) bool {
 	t.pages[victim] = page
 	t.touch(victim)
 	return false
+}
+
+// Reset invalidates every entry and clears statistics without reallocating.
+func (t *TLB) Reset() {
+	clear(t.pages)
+	clear(t.age)
+	t.Accesses, t.Misses = 0, 0
 }
 
 func (t *TLB) touch(i int) {

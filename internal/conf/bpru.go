@@ -189,6 +189,12 @@ func (b *BPRU) allocate(pc uint64, correct bool) int {
 // SizeBytes implements Estimator.
 func (b *BPRU) SizeBytes() int { return b.sets * b.ways * 2 }
 
+// Reset implements Estimator: invalidate every entry without reallocating.
+func (b *BPRU) Reset() {
+	clear(b.tags)
+	clear(b.ctrs)
+}
+
 // Static is a fixed-class estimator, useful in tests and ablations (for
 // example, "treat every branch as VLC" reproduces non-selective gating).
 type Static struct{ Class Class }
@@ -203,3 +209,6 @@ func (s Static) Train(uint64, bool) {}
 
 // SizeBytes implements Estimator.
 func (s Static) SizeBytes() int { return 0 }
+
+// Reset implements Estimator (a fixed-class estimator holds no state).
+func (s Static) Reset() {}

@@ -68,6 +68,9 @@ type Estimator interface {
 	Train(pc uint64, correct bool)
 	// SizeBytes reports the modeled storage.
 	SizeBytes() int
+	// Reset restores the estimator to its as-new state without
+	// reallocation, so run contexts can be reused across runs.
+	Reset()
 }
 
 // Quality accumulates the standard confidence metrics (Grunwald et al.):

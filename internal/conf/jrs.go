@@ -80,3 +80,6 @@ func (j *JRS) Train(pc uint64, correct bool) {
 
 // SizeBytes implements Estimator.
 func (j *JRS) SizeBytes() int { return len(j.table) / 2 }
+
+// Reset implements Estimator: zero every counter without reallocating.
+func (j *JRS) Reset() { clear(j.table) }

@@ -177,6 +177,18 @@ func NewController(p Policy) *Controller {
 // Policy returns the active policy.
 func (c *Controller) Policy() Policy { return c.policy }
 
+// Reset rebinds the controller to a policy and clears every trigger and
+// statistic, reusing the trigger storage. A reset controller behaves exactly
+// like a freshly constructed one.
+func (c *Controller) Reset(p Policy) {
+	c.policy = p
+	c.triggers = c.triggers[:0]
+	c.noSelect = c.noSelect[:0]
+	c.lowCount = 0
+	c.Triggered = 0
+	c.GatedCycles = 0
+}
+
 // OnBranchPredicted registers a conditional branch prediction with its
 // confidence class and returns the spec it triggered (zero Spec when none).
 // seq values must be strictly increasing across calls, matching fetch order.

@@ -133,7 +133,12 @@ type inst struct {
 	enterDecode int64 // cycle at which decode may process it
 	enterWindow int64 // cycle at which dispatch may insert it
 
-	srcs [2]*inst // producers still in flight (nil = operand ready)
+	// srcs holds producers still in flight (nil = operand ready). Producers
+	// are pool-recycled at commit, so each pointer is guarded by the
+	// producer's sequence number captured at rename: a mismatch means the
+	// producer retired and its slot was reused, i.e. the operand is ready.
+	srcs   [2]*inst
+	srcSeq [2]uint64
 
 	issued   bool
 	done     bool
@@ -150,10 +155,12 @@ type inst struct {
 func (in *inst) isMem() bool  { return in.d.St.Op.IsMem() }
 func (in *inst) isLoad() bool { return in.d.St.Op == isa.OpLoad }
 
-// ready reports whether all source operands are available.
+// ready reports whether all source operands are available. A producer whose
+// sequence number no longer matches the one captured at rename has committed
+// and been recycled by the pool — its result is architecturally available.
 func (in *inst) ready() bool {
-	for _, p := range in.srcs {
-		if p != nil && !p.done {
+	for i, p := range in.srcs {
+		if p != nil && p.d.Seq == in.srcSeq[i] && !p.done {
 			return false
 		}
 	}
@@ -239,6 +246,18 @@ type Pipeline struct {
 
 	unexecStores []uint64 // scratch for per-cycle memory disambiguation
 
+	// free is the instruction pool: retired and squashed instructions are
+	// recycled here and handed back out by fetch, so the steady-state cycle
+	// loop allocates nothing. poolAllocs/poolReused instrument it (see
+	// PoolStats).
+	free       []*inst
+	poolAllocs uint64
+	poolReused uint64
+
+	// tally batches the cycle's per-unit activity events; Step flushes it
+	// into the meter once per cycle (power.Meter.AddTally).
+	tally [power.NumUnits]uint32
+
 	// CommitTrace, when set, is invoked for every committed instruction
 	// (diagnostics and tests).
 	CommitTrace func(seq, pc uint64, cycle int64)
@@ -277,7 +296,89 @@ func New(cfg Config, w *prog.Walker, pred bpred.DirPredictor, est conf.Estimator
 	p.decodeQ = newRing[*inst](cfg.DecodeStages*cfg.DecodeWidth + 2*cfg.DecodeWidth)
 	p.window = newRing[*inst](cfg.WindowSize)
 	p.compQ = make([][]*inst, maxCompLat)
+	for i := range p.compQ {
+		// Pre-size each wheel slot: several issue cycles with different
+		// latencies can land on one slot, so give each room for a full
+		// issue group up front; rare overflows grow once and stick.
+		p.compQ[i] = make([]*inst, 0, cfg.IssueWidth)
+	}
+	p.unexecStores = make([]uint64, 0, cfg.LSQSize)
 	return p
+}
+
+// Reset rewinds the pipeline to its just-constructed state and rebinds its
+// collaborators, reusing every internal structure (rings, completion wheel,
+// instruction pool, caches, BTB, RAS). The structural configuration is
+// unchanged — callers that need a different Config must build a new
+// Pipeline. A reset pipeline produces bit-identical results to a fresh one.
+func (p *Pipeline) Reset(w *prog.Walker, pred bpred.DirPredictor, est conf.Estimator,
+	ctrl *core.Controller, meter *power.Meter) {
+	p.walker, p.pred, p.est, p.ctrl, p.meter = w, pred, est, ctrl, meter
+	p.mem.Reset()
+	p.btb.Reset()
+	p.ras.Reset()
+	p.cycle = 0
+	for p.fetchQ.Len() > 0 {
+		p.freeInst(p.fetchQ.PopFront())
+	}
+	for p.decodeQ.Len() > 0 {
+		p.freeInst(p.decodeQ.PopFront())
+	}
+	for p.window.Len() > 0 {
+		p.freeInst(p.window.PopFront())
+	}
+	for i := range p.compQ {
+		for _, in := range p.compQ[i] {
+			// Squashed entries live only on the wheel; anything else was
+			// window-resident and is already back in the pool.
+			if in.squashed {
+				p.freeInst(in)
+			}
+		}
+		p.compQ[i] = p.compQ[i][:0]
+	}
+	for r := range p.regs {
+		p.regs[r] = nil
+	}
+	p.lsqUsed = 0
+	p.wrongPath = false
+	p.fetchResumeAt = 0
+	p.fetchHeldBySeq = 0
+	p.fetchHeld = false
+	p.unexecStores = p.unexecStores[:0]
+	p.tally = [power.NumUnits]uint32{}
+	p.flushCount = 0
+	p.Stats = Stats{}
+}
+
+// allocInst hands out an instruction, recycling the pool before touching the
+// heap. Steady-state fetch never allocates: the pool is replenished by
+// commit and squash.
+func (p *Pipeline) allocInst() *inst {
+	if n := len(p.free) - 1; n >= 0 {
+		in := p.free[n]
+		p.free = p.free[:n]
+		*in = inst{}
+		p.poolReused++
+		return in
+	}
+	p.poolAllocs++
+	return new(inst)
+}
+
+// freeInst returns an instruction to the pool. The instruction's fields are
+// deliberately left intact until reallocation: younger instructions may
+// still hold seq-guarded source pointers to it (see inst.ready).
+func (p *Pipeline) freeInst(in *inst) {
+	p.free = append(p.free, in)
+}
+
+// PoolStats reports the instruction pool's behaviour since construction:
+// how many instructions were freshly heap-allocated and how many were
+// recycled. After warmup, allocs must stop growing — tests use this probe
+// to catch allocation regressions in the cycle loop.
+func (p *Pipeline) PoolStats() (allocs, reuses uint64) {
+	return p.poolAllocs, p.poolReused
 }
 
 // Mem exposes the cache hierarchy (for reports).
@@ -296,8 +397,9 @@ func (p *Pipeline) Run(n uint64) *Stats {
 		if p.Stats.Committed == lastCommit {
 			stuck++
 			if stuck > 100000 {
-				panic(fmt.Sprintf("pipe: no commit in 100000 cycles at cycle %d (window=%d fetchQ=%d decodeQ=%d)",
-					p.cycle, p.window.Len(), p.fetchQ.Len(), p.decodeQ.Len()))
+				panic(fmt.Sprintf("pipe: no commit in 100000 cycles at cycle %d (committed=%d/%d policy=%q window=%d fetchQ=%d decodeQ=%d)",
+					p.cycle, p.Stats.Committed, n, p.ctrl.Policy().Name,
+					p.window.Len(), p.fetchQ.Len(), p.decodeQ.Len()))
 			}
 		} else {
 			stuck = 0
@@ -317,13 +419,15 @@ func (p *Pipeline) Step() {
 	p.decode()
 	p.fetch()
 	p.cycle++
+	p.meter.AddTally(&p.tally)
 	p.meter.AddCycle()
 	p.Stats.Cycles++
 }
 
-// note records one activity event on unit u attributed to in.
+// note records one activity event on unit u attributed to in. Events land in
+// the per-cycle tally and reach the meter in one flush per Step.
 func (p *Pipeline) note(in *inst, u power.Unit) {
-	p.meter.Add(u, 1)
+	p.tally[u]++
 	if in.ev[u] < 255 {
 		in.ev[u]++
 	}
@@ -367,7 +471,8 @@ func (p *Pipeline) fetch() {
 
 	taken := 0
 	for slot := 0; slot < p.cfg.FetchWidth; slot++ {
-		in := &inst{fetchCycle: p.cycle}
+		in := p.allocInst()
+		in.fetchCycle = p.cycle
 		p.walker.Next(&in.d)
 		in.d.WrongPath = p.wrongPath
 		in.enterDecode = p.cycle + int64(p.cfg.FetchStages) + extra
@@ -513,6 +618,7 @@ func (p *Pipeline) dispatch() {
 			}
 			if prod := p.regs[r]; prod != nil && !prod.done {
 				in.srcs[si] = prod
+				in.srcSeq[si] = prod.d.Seq
 				si++
 			}
 		}
@@ -635,6 +741,9 @@ func (p *Pipeline) complete() {
 	p.compQ[slot] = finishing[:0]
 	for _, in := range finishing {
 		if in.squashed {
+			// A squashed in-flight instruction is referenced only by its
+			// wheel slot; this pop was the last reference, so recycle it.
+			p.freeInst(in)
 			continue
 		}
 		in.done = true
@@ -725,7 +834,9 @@ func (in *inst) Lifecycle() (fetch, window, issue int64, pc uint64) {
 // Srcs exposes producer instructions for diagnostics.
 func (in *inst) Srcs() [2]*inst { return in.srcs }
 
-// squash marks an instruction dead and moves its activity to the wasted pool.
+// squash marks an instruction dead, moves its activity to the wasted pool,
+// and recycles it unless the completion wheel still references it (issued
+// but not finished — complete() recycles those when their slot comes up).
 func (p *Pipeline) squash(in *inst) {
 	if in.squashed {
 		return
@@ -738,6 +849,9 @@ func (p *Pipeline) squash(in *inst) {
 		if in.ev[u] > 0 {
 			p.meter.AddWasted(u, float64(in.ev[u]))
 		}
+	}
+	if !in.issued || in.done {
+		p.freeInst(in)
 	}
 }
 
@@ -785,5 +899,8 @@ func (p *Pipeline) commit() {
 			}
 		}
 		p.Stats.Committed++
+		// Retired: recycle. Younger consumers may still hold pointers to it;
+		// the seq guard in inst.ready treats a recycled producer as done.
+		p.freeInst(in)
 	}
 }

@@ -1,0 +1,134 @@
+package pipe
+
+import (
+	"testing"
+
+	"selthrottle/internal/bpred"
+	"selthrottle/internal/conf"
+	"selthrottle/internal/core"
+	"selthrottle/internal/power"
+	"selthrottle/internal/prog"
+)
+
+// TestStepSteadyStateZeroAlloc is the hot path's allocation guard: once the
+// pool and the completion wheel have reached their high-water marks, a cycle
+// must not touch the heap at all.
+func TestStepSteadyStateZeroAlloc(t *testing.T) {
+	pl := build(t, "gzip", core.Baseline(), nil, core.OracleNone)
+	pl.Run(30000) // reach steady state: pool, wheel, and scratch capacities
+	if avg := testing.AllocsPerRun(2000, pl.Step); avg != 0 {
+		t.Fatalf("Step allocates %v objects/cycle in steady state, want 0", avg)
+	}
+}
+
+// TestStepSteadyStateZeroAllocThrottled repeats the guard under an
+// aggressive throttling policy, which additionally exercises the
+// controller's trigger bookkeeping and the no-select barrier path.
+func TestStepSteadyStateZeroAllocThrottled(t *testing.T) {
+	policy := core.Selective("t",
+		core.Spec{Fetch: core.RateQuarter, NoSelect: true},
+		core.Spec{Fetch: core.RateStall})
+	pl := build(t, "go", policy, nil, core.OracleNone)
+	pl.Run(30000)
+	if avg := testing.AllocsPerRun(2000, pl.Step); avg != 0 {
+		t.Fatalf("Step allocates %v objects/cycle under throttling, want 0", avg)
+	}
+}
+
+// TestPoolStopsAllocatingAfterWarmup uses the PoolStats probe: the pool's
+// footprint is bounded by the in-flight capacity of the machine, so after
+// warmup the fresh-allocation counter must freeze no matter how many more
+// instructions run.
+func TestPoolStopsAllocatingAfterWarmup(t *testing.T) {
+	pl := build(t, "gzip", core.Baseline(), nil, core.OracleNone)
+	pl.Run(30000)
+	allocsWarm, _ := pl.PoolStats()
+	pl.Run(60000)
+	allocsAfter, reuses := pl.PoolStats()
+	if allocsAfter != allocsWarm {
+		t.Fatalf("pool allocated %d new instructions after warmup", allocsAfter-allocsWarm)
+	}
+	if reuses == 0 {
+		t.Fatal("pool never recycled an instruction")
+	}
+	// The footprint tracks in-flight capacity (front-end queues + window +
+	// wheel residue), not the instruction count.
+	if allocsAfter > 2000 {
+		t.Fatalf("pool footprint %d implausibly large for a 128-entry window", allocsAfter)
+	}
+}
+
+// TestSquashedInstructionsRecycled checks the squash recycling paths: on the
+// high-misprediction profile the wrong-path volume dwarfs the machine's
+// in-flight capacity many times over, so the run only stays within the pool
+// bound if squashed instructions (front-end, window, and in-wheel) all make
+// it back to the free list.
+func TestSquashedInstructionsRecycled(t *testing.T) {
+	pl := build(t, "go", core.Baseline(), nil, core.OracleNone)
+	st := pl.Run(30000)
+	if st.WrongPathFetched == 0 {
+		t.Fatal("no wrong-path work to recycle")
+	}
+	allocs, reuses := pl.PoolStats()
+	if allocs+reuses != st.Fetched {
+		t.Fatalf("pool handed out %d instructions, fetch consumed %d", allocs+reuses, st.Fetched)
+	}
+	if allocs > 2000 {
+		t.Fatalf("pool footprint %d: squashed instructions are leaking", allocs)
+	}
+	if err := pl.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompletionWheelWraparound clamps every scheduled latency to the
+// wheel's maximum (maxCompLat-1), so each completion lands one slot behind
+// the cycle that scheduled it and every pop crosses the wrap boundary.
+func TestCompletionWheelWraparound(t *testing.T) {
+	p, _ := prog.ProfileByName("gzip")
+	program := prog.Generate(p)
+	cfg := Default()
+	cfg.ExtraExecLat = 2 * maxCompLat // forces the clamp for every op
+	pl := New(cfg, prog.NewWalker(program), bpred.NewGshare(8<<10),
+		conf.NewBPRU(8<<10), core.NewController(core.Baseline()), &power.Meter{})
+	st := pl.Run(5000)
+	if st.Committed < 5000 {
+		t.Fatalf("committed %d with clamped latencies", st.Committed)
+	}
+	if err := pl.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPipelineResetBitIdentical replays a run on a Reset pipeline with
+// rewound collaborators and requires bit-identical statistics and power
+// accounting.
+func TestPipelineResetBitIdentical(t *testing.T) {
+	p, _ := prog.ProfileByName("twolf")
+	program := prog.Generate(p)
+	cfg := Default()
+	w := prog.NewWalker(program)
+	pred := bpred.NewGshare(8 << 10)
+	est := conf.NewBPRU(8 << 10)
+	ctrl := core.NewController(core.Baseline())
+	meter := &power.Meter{}
+	pl := New(cfg, w, pred, est, ctrl, meter)
+
+	a := *pl.Run(20000)
+	meterA := *meter
+
+	w.Reset(program)
+	pred.Reset()
+	est.Reset()
+	ctrl.Reset(core.Baseline())
+	meter.Reset()
+	pl.Reset(w, pred, est, ctrl, meter)
+
+	b := *pl.Run(20000)
+	if a != b {
+		t.Fatalf("reset pipeline diverged:\n fresh: %+v\n reset: %+v", a, b)
+	}
+	if meterA != *meter {
+		t.Fatal("reset pipeline produced different power accounting")
+	}
+}

@@ -15,8 +15,8 @@ func dumpChain(in *inst, depth, limit int) {
 		return
 	}
 	for i, s := range in.srcs {
-		if s == nil {
-			continue
+		if s == nil || s.d.Seq != in.srcSeq[i] {
+			continue // never bound, or recycled by the pool after retiring
 		}
 		fmt.Printf("  %*s src%d pc=%x seq=%d op=%v fetch=%d window=%d issue=%d done=%v\n",
 			depth*2, "", i, s.d.PC, s.d.Seq, s.d.St.Op, s.fetchCycle, s.windowCycle, s.issueCycle, s.done)

@@ -153,6 +153,11 @@ func DeriveMax(shares, utils [NumUnits]float64, total, idle float64) [NumUnits]f
 
 // Meter accumulates activity during a simulation run. Events are attributed
 // at squash time to the wasted pool; anything not squashed is useful.
+//
+// The hot path feeds the meter through AddTally: the pipeline batches every
+// unit event of a cycle into a flat scratch tally and flushes it once per
+// Step, so steady-state accounting costs one array walk per cycle instead of
+// one method call per event. Meters are reusable across runs via Reset.
 type Meter struct {
 	Cycles uint64
 	Events [NumUnits]float64
@@ -164,6 +169,22 @@ func (m *Meter) AddCycle() { m.Cycles++ }
 
 // Add records n activity events on unit u.
 func (m *Meter) Add(u Unit, n float64) { m.Events[u] += n }
+
+// AddTally folds a per-cycle event tally into the totals and clears it.
+// Counts are integers, so the float accumulation is exact and the result is
+// bit-identical to per-event Add calls in any order.
+func (m *Meter) AddTally(tally *[NumUnits]uint32) {
+	for u, n := range tally {
+		if n != 0 {
+			m.Events[u] += float64(n)
+			tally[u] = 0
+		}
+	}
+}
+
+// Reset clears all accumulated activity so the meter can be reused by the
+// next run without reallocation.
+func (m *Meter) Reset() { *m = Meter{} }
 
 // AddWasted moves n already-recorded events of unit u into the wasted pool
 // (called when the instruction that caused them is squashed).

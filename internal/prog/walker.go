@@ -85,7 +85,18 @@ type Walker struct {
 
 // NewWalker returns a walker positioned at the program entry.
 func NewWalker(p *Program) *Walker {
-	return &Walker{
+	w := &Walker{}
+	w.Reset(p)
+	return w
+}
+
+// Reset rebinds the walker to a program (possibly a different one) and
+// rewinds it to the entry state, exactly as NewWalker would produce. A
+// generated Program is immutable during walks, so one decoded program can be
+// replayed by any number of resets without re-generation, and a pooled
+// walker can serve many runs without allocation.
+func (w *Walker) Reset(p *Program) {
+	*w = Walker{
 		prog: p,
 		st:   WalkState{Block: p.Entry, Ghist: xrand.Hash64(p.Profile.Seed)},
 	}

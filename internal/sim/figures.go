@@ -3,7 +3,6 @@ package sim
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"selthrottle/internal/power"
 	"selthrottle/internal/prog"
@@ -70,31 +69,37 @@ type FigureResult struct {
 
 // RunFigure reproduces a bar-chart figure: it runs the baseline and every
 // experiment on every profile, producing the paper's four metric groups.
-// Experiments run in parallel across (experiment x benchmark).
+// The whole (configuration x benchmark) grid is flattened into one job list
+// and executed on the shared pool of reusable Runners, so parallelism spans
+// the full figure without constructing a simulator per cell. Output is
+// independent of GOMAXPROCS: every run is deterministic and slot-addressed.
 func RunFigure(name string, exps []Experiment, opts Options) *FigureResult {
 	opts = opts.withDefaults()
 	base := opts.baseConfig()
 
-	fr := &FigureResult{Name: name, Options: opts}
-	fr.Baselines = RunAll(base, opts.Profiles)
-
-	fr.Rows = make([]ExperimentRow, len(exps))
-	var wg sync.WaitGroup
+	cfgs := make([]Config, 1+len(exps))
+	cfgs[0] = base
 	for i, e := range exps {
-		wg.Add(1)
-		go func(i int, e Experiment) {
-			defer wg.Done()
-			cfg := e.Apply(base)
-			results := RunAll(cfg, opts.Profiles)
-			row := ExperimentRow{Experiment: e, PerBench: make([]Comparison, len(results))}
-			for j, r := range results {
-				row.PerBench[j] = Compare(fr.Baselines[j], r)
-			}
-			row.Average = AverageComparison(row.PerBench)
-			fr.Rows[i] = row
-		}(i, e)
+		cfgs[i+1] = e.Apply(base)
 	}
-	wg.Wait()
+	np := len(opts.Profiles)
+	all := make([]Result, len(cfgs)*np)
+	runJobs(len(all), func(r *Runner, k int) {
+		all[k] = r.Run(cfgs[k/np], opts.Profiles[k%np])
+	})
+
+	fr := &FigureResult{Name: name, Options: opts}
+	fr.Baselines = all[:np]
+	fr.Rows = make([]ExperimentRow, len(exps))
+	for i, e := range exps {
+		results := all[(i+1)*np : (i+2)*np]
+		row := ExperimentRow{Experiment: e, PerBench: make([]Comparison, np)}
+		for j, r := range results {
+			row.PerBench[j] = Compare(fr.Baselines[j], r)
+		}
+		row.Average = AverageComparison(row.PerBench)
+		fr.Rows[i] = row
+	}
 	return fr
 }
 
@@ -117,7 +122,9 @@ type SweepPoint struct {
 }
 
 // DepthSweep reproduces Figure 6: pipeline depths 6..28 (step 2), C2 vs the
-// baseline at each depth.
+// baseline at each depth. Points run back-to-back on the shared Runner pool
+// (each point's figure already fans out across the pool), so the sweep
+// reuses simulator instances instead of stacking one pool per point.
 func DepthSweep(opts Options, depths []int) []SweepPoint {
 	if depths == nil {
 		for d := 6; d <= 28; d += 2 {
@@ -125,42 +132,31 @@ func DepthSweep(opts Options, depths []int) []SweepPoint {
 		}
 	}
 	points := make([]SweepPoint, len(depths))
-	var wg sync.WaitGroup
 	for i, d := range depths {
-		wg.Add(1)
-		go func(i, d int) {
-			defer wg.Done()
-			o := opts
-			o.Depth = d
-			fr := RunFigure(fmt.Sprintf("depth-%d", d), []Experiment{BestExperiment()}, o)
-			points[i] = SweepPoint{X: d, Average: fr.Rows[0].Average}
-		}(i, d)
+		o := opts
+		o.Depth = d
+		fr := RunFigure(fmt.Sprintf("depth-%d", d), []Experiment{BestExperiment()}, o)
+		points[i] = SweepPoint{X: d, Average: fr.Rows[0].Average}
 	}
-	wg.Wait()
 	sort.Slice(points, func(i, j int) bool { return points[i].X < points[j].X })
 	return points
 }
 
 // SizeSweep reproduces Figure 7: total predictor+estimator budgets of 8, 16,
 // 32, and 64 KB, split half/half, C2 vs a baseline using the same predictor.
+// Like DepthSweep, points execute back-to-back on the shared Runner pool.
 func SizeSweep(opts Options, totalsKB []int) []SweepPoint {
 	if totalsKB == nil {
 		totalsKB = []int{8, 16, 32, 64}
 	}
 	points := make([]SweepPoint, len(totalsKB))
-	var wg sync.WaitGroup
 	for i, kb := range totalsKB {
-		wg.Add(1)
-		go func(i, kb int) {
-			defer wg.Done()
-			o := opts
-			o.PredBytes = kb * 1024 / 2
-			o.ConfBytes = kb * 1024 / 2
-			fr := RunFigure(fmt.Sprintf("size-%dKB", kb), []Experiment{BestExperiment()}, o)
-			points[i] = SweepPoint{X: kb, Average: fr.Rows[0].Average}
-		}(i, kb)
+		o := opts
+		o.PredBytes = kb * 1024 / 2
+		o.ConfBytes = kb * 1024 / 2
+		fr := RunFigure(fmt.Sprintf("size-%dKB", kb), []Experiment{BestExperiment()}, o)
+		points[i] = SweepPoint{X: kb, Average: fr.Rows[0].Average}
 	}
-	wg.Wait()
 	sort.Slice(points, func(i, j int) bool { return points[i].X < points[j].X })
 	return points
 }

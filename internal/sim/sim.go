@@ -4,6 +4,26 @@
 // compares runs against baselines with the paper's metrics (speedup, power
 // savings, energy savings, energy-delay improvement), and defines every
 // experiment of the evaluation section (Figures 1 and 3-7, Tables 1-3).
+//
+// # Run contexts
+//
+// The unit of execution is the Runner, a reusable run context that owns one
+// pipeline, branch predictor, confidence estimator, throttle controller, and
+// power meter. Runner.Run executes any number of (Config, Profile) pairs
+// back-to-back, resetting (rather than reallocating) every component between
+// runs; structural pieces are rebuilt only when the configuration they
+// depend on actually changes. A reset component restores its exact as-new
+// state, so results are bit-identical whether a Runner is fresh or reused —
+// determinism tests enforce this.
+//
+// All experiment drivers (Run, RunAll, RunFigure, DepthSweep, SizeSweep, and
+// the table/confidence harnesses built on them) draw Runners from one shared
+// pool: worker goroutines lease a Runner for their lifetime and return it
+// when the job list drains, so figure-scale fan-out reuses a handful of
+// simulator instances instead of constructing one per (experiment,
+// benchmark) pair. Because every run starts from an identical reset state,
+// experiment results are independent of GOMAXPROCS and of which pooled
+// Runner served them.
 package sim
 
 import (
@@ -85,18 +105,74 @@ func newEstimator(cfg Config) conf.Estimator {
 	}
 }
 
+// Runner is a reusable run context: one pipeline plus its collaborators,
+// able to execute many (Config, Profile) pairs back-to-back. Between runs
+// every component is Reset in place; a component is reconstructed only when
+// the part of the configuration it depends on changes (pipeline structure,
+// predictor size, estimator kind/size). A Runner is not safe for concurrent
+// use; the package's drivers give each worker goroutine its own.
+type Runner struct {
+	// Construction keys: which configuration the cached components match.
+	pipeCfg   pipe.Config
+	predBytes int
+	estKind   EstimatorKind
+	estBytes  int
+	estThresh int
+
+	walker *prog.Walker
+	pred   *bpred.Gshare
+	est    conf.Estimator
+	ctrl   *core.Controller
+	meter  *power.Meter
+	pl     *pipe.Pipeline
+}
+
+// NewRunner returns an empty run context; components are built lazily on the
+// first Run and recycled afterwards.
+func NewRunner() *Runner { return &Runner{} }
+
 // Run executes one configuration on one benchmark profile. The first
 // cfg.Warmup instructions train predictors and caches; measurement covers
-// the next cfg.Instructions.
-func Run(cfg Config, profile prog.Profile) Result {
+// the next cfg.Instructions. Results are bit-identical to a run on a freshly
+// constructed Runner: every reused component restores its exact as-new
+// state.
+func (r *Runner) Run(cfg Config, profile prog.Profile) Result {
 	program := getProgram(profile)
-	walker := prog.NewWalker(program)
-	pred := bpred.NewGshare(cfg.PredBytes)
-	est := newEstimator(cfg)
-	ctrl := core.NewController(cfg.Policy)
-	meter := &power.Meter{}
-	pl := pipe.New(cfg.Pipe, walker, pred, est, ctrl, meter)
+	if r.walker == nil {
+		r.walker = prog.NewWalker(program)
+	} else {
+		r.walker.Reset(program)
+	}
+	if r.pred == nil || r.predBytes != cfg.PredBytes {
+		r.pred, r.predBytes = bpred.NewGshare(cfg.PredBytes), cfg.PredBytes
+	} else {
+		r.pred.Reset()
+	}
+	if r.est == nil || r.estKind != cfg.Estimator ||
+		r.estBytes != cfg.ConfBytes || r.estThresh != cfg.JRSThreshold {
+		r.est = newEstimator(cfg)
+		r.estKind, r.estBytes, r.estThresh = cfg.Estimator, cfg.ConfBytes, cfg.JRSThreshold
+	} else {
+		r.est.Reset()
+	}
+	if r.ctrl == nil {
+		r.ctrl = core.NewController(cfg.Policy)
+	} else {
+		r.ctrl.Reset(cfg.Policy)
+	}
+	if r.meter == nil {
+		r.meter = &power.Meter{}
+	} else {
+		r.meter.Reset()
+	}
+	if r.pl == nil || r.pipeCfg != cfg.Pipe {
+		r.pl = pipe.New(cfg.Pipe, r.walker, r.pred, r.est, r.ctrl, r.meter)
+		r.pipeCfg = cfg.Pipe
+	} else {
+		r.pl.Reset(r.walker, r.pred, r.est, r.ctrl, r.meter)
+	}
 
+	pl, meter := r.pl, r.meter
 	pl.Run(cfg.Warmup)
 	meterAtWarm := *meter
 	statsAtWarm := pl.Stats
@@ -121,6 +197,61 @@ func Run(cfg Config, profile prog.Profile) Result {
 		EDelay:    report.EnergyDelay,
 		AvgPower:  report.AvgPower,
 	}
+}
+
+// runnerPool shares Runners across every driver in the package. Workers
+// lease a Runner for a whole job list; one-shot Run calls borrow and return
+// immediately. Pooled Runners carry no observable state between runs (the
+// Reset path restores exact as-new behaviour), so sharing is safe.
+var runnerPool = sync.Pool{New: func() any { return NewRunner() }}
+
+// Run executes one configuration on one benchmark profile using a pooled
+// run context.
+func Run(cfg Config, profile prog.Profile) Result {
+	r := runnerPool.Get().(*Runner)
+	defer runnerPool.Put(r)
+	return r.Run(cfg, profile)
+}
+
+// runJobs executes jobs 0..n-1 across a bounded worker pool. Each worker
+// leases one pooled Runner for its lifetime, so a job list of any size costs
+// at most GOMAXPROCS simulator instances. Job outputs must be written to
+// per-index slots by the callback; ordering across workers is unspecified
+// but every job's result is deterministic (runs are independent and Runners
+// reset fully), so callers' outputs never depend on scheduling.
+func runJobs(n int, job func(r *Runner, i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			r := runnerPool.Get().(*Runner)
+			for i := 0; i < n; i++ {
+				job(r, i)
+			}
+			runnerPool.Put(r)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			r := runnerPool.Get().(*Runner)
+			defer runnerPool.Put(r)
+			for i := range jobs {
+				job(r, i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
 }
 
 // programCache memoizes generated programs: every experiment reuses the same
@@ -224,25 +355,12 @@ func AverageComparison(cs []Comparison) Comparison {
 	return out
 }
 
-// RunAll executes a configuration across profiles in parallel and returns
-// results in profile order.
+// RunAll executes a configuration across profiles on the shared worker pool
+// and returns results in profile order.
 func RunAll(cfg Config, profiles []prog.Profile) []Result {
 	results := make([]Result, len(profiles))
-	par := runtime.GOMAXPROCS(0)
-	if par > len(profiles) {
-		par = len(profiles)
-	}
-	sem := make(chan struct{}, par)
-	var wg sync.WaitGroup
-	for i, p := range profiles {
-		wg.Add(1)
-		go func(i int, p prog.Profile) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i] = Run(cfg, p)
-		}(i, p)
-	}
-	wg.Wait()
+	runJobs(len(profiles), func(r *Runner, i int) {
+		results[i] = r.Run(cfg, profiles[i])
+	})
 	return results
 }

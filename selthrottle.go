@@ -26,6 +26,19 @@
 //	c2 := selthrottle.BestExperiment()
 //	thr := selthrottle.Run(c2.Apply(selthrottle.DefaultConfig()), profile)
 //	fmt.Println(selthrottle.Compare(base, thr))
+//
+// Run and the figure harnesses draw reusable run contexts from a shared
+// pool, so back-to-back runs recycle the simulator instead of rebuilding it.
+// Callers executing many configurations in their own loop can hold a context
+// directly:
+//
+//	r := selthrottle.NewRunner()
+//	for _, cfg := range configs {
+//		results = append(results, r.Run(cfg, profile))
+//	}
+//
+// A reused Runner resets every component to its exact as-new state between
+// runs, so results are bit-identical to fresh construction.
 package selthrottle
 
 import (
@@ -52,7 +65,14 @@ type (
 	Policy = core.Policy
 	// Spec is one class's heuristic bundle (fetch/decode rate, no-select).
 	Spec = core.Spec
+	// Runner is a reusable run context: one simulator instance executing
+	// many (Config, Profile) pairs back-to-back with Reset between runs.
+	Runner = sim.Runner
 )
+
+// NewRunner returns an empty reusable run context; components are built on
+// the first Run and recycled afterwards.
+func NewRunner() *Runner { return sim.NewRunner() }
 
 // DefaultConfig returns the paper's baseline configuration: the Table 3
 // processor at 14 stages with an 8 KB gshare and an 8 KB BPRU estimator.
