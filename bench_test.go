@@ -11,7 +11,9 @@ package selthrottle_test
 
 import (
 	"testing"
+	"time"
 
+	"selthrottle/internal/cache"
 	"selthrottle/internal/power"
 	"selthrottle/internal/prog"
 	"selthrottle/internal/sim"
@@ -175,12 +177,17 @@ func BenchmarkAblationEstimatorCross(b *testing.B) {
 // BenchmarkSingleRun measures one scaled-down sim.Run end to end — the unit
 // of work every figure and sweep above is built from — and reports allocs/op
 // so the hot path's allocation behaviour lands in the benchmark trajectory.
+// Result caching is disabled: this benchmark gauges the simulator itself,
+// not the memo table in front of it.
 func BenchmarkSingleRun(b *testing.B) {
 	profile, _ := prog.ProfileByName("go")
 	cfg := sim.Default()
 	cfg.Instructions = 32000
 	cfg.Warmup = 8000
+	prev := sim.SetResultCaching(false)
+	defer sim.SetResultCaching(prev)
 	sim.Run(cfg, profile) // warm the program cache and runner pool
+	sim.Run(cfg, profile) // settle pool and wakeup-list high-water marks
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -188,14 +195,101 @@ func BenchmarkSingleRun(b *testing.B) {
 	}
 }
 
+// BenchmarkIssueStage isolates the issue stage on an enlarged instruction
+// window (256 entries — double Table 3), where wakeup/select dominates the
+// cycle loop. The sub-benchmarks run the same configuration through the
+// event-driven issue stage and through the legacy full-window scan it
+// replaced, so the optimization is individually measurable (the two are
+// bit-identical in results; the identity tests enforce it).
+func BenchmarkIssueStage(b *testing.B) {
+	prev := sim.SetResultCaching(false)
+	defer sim.SetResultCaching(prev)
+	for _, mode := range []struct {
+		name   string
+		legacy bool
+	}{{"event", false}, {"scan", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			profile, _ := prog.ProfileByName("gcc")
+			cfg := sim.Default()
+			cfg.Pipe.WindowSize = 256
+			cfg.Pipe.LSQSize = 128
+			cfg.Pipe.LegacyScanIssue = mode.legacy
+			cfg.Instructions = 24000
+			cfg.Warmup = 6000
+			sim.Run(cfg, profile)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sim.Run(cfg, profile)
+			}
+		})
+	}
+}
+
+// BenchmarkTLBAccess isolates the fully associative TLB: a mixed stream over
+// a working set about twice the TLB's 128-entry reach, so hits exercise the
+// O(1) recency splice and misses exercise victim eviction. allocs/op guards
+// the hash-index path against per-access allocation.
+func BenchmarkTLBAccess(b *testing.B) {
+	t := cache.NewTLB(128)
+	// Deterministic mixed stream: mostly a hot 64-page set, with excursions
+	// over a 4096-page span that force misses and evictions.
+	addrs := make([]uint64, 8192)
+	state := uint64(0x9E3779B97F4A7C15)
+	for i := range addrs {
+		state = state*6364136223846793005 + 1442695040888963407
+		page := state >> 58 // 0..63: hot set
+		if i%7 == 0 {
+			page = state >> 52 // 0..4095: cold sweep
+		}
+		addrs[i] = page << 12
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Access(addrs[i&8191])
+	}
+}
+
+// BenchmarkDepthSweep measures the Figure 6 grid (12 depths x C2+baseline x
+// all profiles) cold and then repeated, demonstrating the result cache: the
+// warm pass re-serves every grid point from the memo table, so the repeat
+// costs a vanishing fraction of the cold sweep (cache_win_%).
+func BenchmarkDepthSweep(b *testing.B) {
+	opts := sim.Options{Instructions: 20000, Warmup: 5000}
+	var depths []int
+	for d := 6; d <= 28; d += 2 {
+		depths = append(depths, d)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.ClearResultCache()
+		t0 := time.Now()
+		cold := sim.DepthSweep(opts, depths)
+		coldT := time.Since(t0)
+		t1 := time.Now()
+		warm := sim.DepthSweep(opts, depths)
+		warmT := time.Since(t1)
+		if len(cold) != len(warm) || cold[0].Average != warm[0].Average {
+			b.Fatal("cached sweep diverged from cold sweep")
+		}
+		b.ReportMetric(float64(coldT.Milliseconds()), "cold_ms")
+		b.ReportMetric(float64(warmT.Milliseconds()), "warm_ms")
+		b.ReportMetric(100*(1-warmT.Seconds()/coldT.Seconds()), "cache_win_%")
+	}
+}
+
 // BenchmarkSimulatorThroughput measures raw simulation speed (instructions
 // simulated per wall-clock second), the engineering budget every experiment
-// above spends.
+// above spends. Result caching is disabled so every iteration simulates.
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	profile, _ := prog.ProfileByName("gzip")
 	cfg := sim.Default()
 	cfg.Instructions = 50000
 	cfg.Warmup = 5000
+	prev := sim.SetResultCaching(false)
+	defer sim.SetResultCaching(prev)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sim.Run(cfg, profile)

@@ -42,7 +42,15 @@ func main() {
 	depth := flag.Int("depth", 14, "pipeline depth in stages (fetch to commit)")
 	kb := flag.Int("kb", 16, "total predictor+estimator budget in KB (split half/half)")
 	bench := flag.String("bench", "", "restrict to a comma-separated list of benchmarks")
+	verbose := flag.Bool("v", false, "print the process-wide result-cache reuse summary at exit")
 	flag.Parse()
+	if *verbose {
+		// Every experiment below shares one process-wide result cache, so
+		// overlapping grids (shared baselines, repeated experiment points
+		// across figures and sweeps) simulate once; -exp all exercises this
+		// heavily.
+		defer sim.WriteCacheSummary(os.Stderr)
+	}
 
 	opts := sim.Options{
 		Instructions: *n,

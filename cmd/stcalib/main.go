@@ -27,8 +27,15 @@ func main() {
 	n := flag.Uint64("n", prog.DefaultInstructions, "measured instructions per benchmark")
 	warmup := flag.Uint64("warmup", 0, "warmup instructions (default n/4)")
 	tune := flag.Bool("tune", false, "solve for per-profile noise scales hitting Table 2 miss rates")
+	verbose := flag.Bool("v", false, "print the process-wide result-cache reuse summary at exit")
 	flag.Parse()
 
+	if *verbose {
+		// The calibration passes below overlap heavily (Table 2, Table 1,
+		// and the BPRU confidence pass all run the baseline grid); the
+		// shared result cache simulates each point once.
+		defer sim.WriteCacheSummary(os.Stderr)
+	}
 	if *warmup == 0 {
 		*warmup = *n / 4
 	}

@@ -29,7 +29,11 @@ func main() {
 	id := flag.String("id", "C2", "experiment id, or 'baseline'")
 	n := flag.Uint64("n", 200000, "instructions to simulate")
 	interval := flag.Int64("interval", 10000, "reporting interval in cycles")
+	verbose := flag.Bool("v", false, "print the process-wide result-cache reuse summary at exit")
 	flag.Parse()
+	if *verbose {
+		defer sim.WriteCacheSummary(os.Stderr)
+	}
 
 	profile, ok := prog.ProfileByName(*bench)
 	if !ok {
@@ -99,4 +103,21 @@ func main() {
 	fmt.Printf("\ntotals: IPC %.2f, miss %.1f%%, avg power %.1f W, wasted energy %.1f%%\n",
 		pl.Stats.IPC(), 100*pl.Stats.MissRate(), report.AvgPower,
 		100*report.WastedEnergy/report.TotalEnergy)
+
+	// The interval trace above is inherently uncacheable (it reads stats
+	// mid-run), but the reference comparison goes through sim.Run and so
+	// shares the process-wide result cache with every other driver: tracing
+	// several experiments in one process simulates each endpoint once.
+	if *id != "baseline" {
+		runCfg := cfg
+		runCfg.Instructions = *n * 3 / 4
+		runCfg.Warmup = *n / 4
+		baseCfg := runCfg
+		baseCfg.Policy = core.Baseline()
+		baseCfg.Estimator = sim.EstBPRU
+		baseCfg.Pipe.Oracle = core.OracleNone
+		cmp := sim.Compare(sim.Run(baseCfg, profile), sim.Run(runCfg, profile))
+		fmt.Printf("vs baseline: speedup %.3f, power %.1f%%, energy %.1f%%, E-D %.1f%%\n",
+			cmp.Speedup, cmp.PowerSaving, cmp.EnergySaving, cmp.EDImprovement)
+	}
 }

@@ -18,6 +18,7 @@ import (
 	"selthrottle/internal/bpred"
 	"selthrottle/internal/conf"
 	"selthrottle/internal/prog"
+	"selthrottle/internal/sim"
 )
 
 // measure trains predictor+estimator on the benchmark's architectural branch
@@ -50,7 +51,11 @@ func measure(profile prog.Profile, est conf.Estimator, n int) conf.Quality {
 func main() {
 	bench := flag.String("bench", "twolf", "benchmark profile")
 	n := flag.Int("n", 400000, "instructions to stream")
+	verbose := flag.Bool("v", false, "print the process-wide result-cache reuse summary at exit")
 	flag.Parse()
+	if *verbose {
+		defer sim.WriteCacheSummary(os.Stderr)
+	}
 
 	profile, ok := prog.ProfileByName(*bench)
 	if !ok {
@@ -74,6 +79,22 @@ func main() {
 		q := measure(profile, j, *n)
 		fmt.Fprintf(tw, "JRS\tMDC=%d\t%.1f\t%.1f\t%.1f\n",
 			mdc, 100*q.SPEC(), 100*q.PVN(), 100*q.LowFrac())
+	}
+	tw.Flush()
+
+	// Cross-check the trace-level sweep above against the full in-pipeline
+	// measurement at the paper's operating points. This goes through the
+	// sim harness and therefore the process-wide result cache: re-running
+	// the explorer's variations in one process re-simulates nothing.
+	crs := sim.RunConfidence(sim.Options{
+		Instructions: uint64(*n) / 4,
+		Profiles:     []prog.Profile{profile},
+	})
+	fmt.Println("\nin-pipeline (wrong-path speculation included), paper configs:")
+	tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	for _, cr := range crs {
+		fmt.Fprintf(tw, "%s\tSPEC %.1f%%\tPVN %.1f%%\tlow-labeled %.1f%%\n",
+			cr.Estimator, 100*cr.SPEC, 100*cr.PVN, 100*cr.LowFrac)
 	}
 	tw.Flush()
 

@@ -21,7 +21,11 @@ import (
 func main() {
 	bench := flag.String("bench", "twolf", "benchmark profile")
 	n := flag.Uint64("n", 120000, "measured instructions")
+	verbose := flag.Bool("v", false, "print the process-wide result-cache reuse summary at exit")
 	flag.Parse()
+	if *verbose {
+		defer sim.WriteCacheSummary(os.Stderr)
+	}
 
 	profile, ok := prog.ProfileByName(*bench)
 	if !ok {

@@ -19,7 +19,11 @@ import (
 
 func main() {
 	n := flag.Uint64("n", 120000, "measured instructions per benchmark")
+	verbose := flag.Bool("v", false, "print the process-wide result-cache reuse summary at exit")
 	flag.Parse()
+	if *verbose {
+		defer sim.WriteCacheSummary(os.Stderr)
+	}
 
 	opts := sim.Options{Instructions: *n}
 	c2 := sim.BestExperiment()

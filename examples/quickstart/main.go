@@ -6,10 +6,11 @@
 //
 // Run with:
 //
-//	go run ./examples/quickstart [benchmark]
+//	go run ./examples/quickstart [-v] [benchmark]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -18,9 +19,14 @@ import (
 )
 
 func main() {
+	verbose := flag.Bool("v", false, "print the process-wide result-cache reuse summary at exit")
+	flag.Parse()
+	if *verbose {
+		defer sim.WriteCacheSummary(os.Stderr)
+	}
 	bench := "go" // the paper's showcase benchmark (19.7 % misprediction)
-	if len(os.Args) > 1 {
-		bench = os.Args[1]
+	if flag.NArg() > 0 {
+		bench = flag.Arg(0)
 	}
 	profile, ok := prog.ProfileByName(bench)
 	if !ok {

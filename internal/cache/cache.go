@@ -8,6 +8,30 @@
 // reference and updates tag/LRU state. Wrong-path references go through the
 // same state (so wrong-path fetch genuinely pollutes the I-cache, one of the
 // effects behind the paper's oracle-fetch speedup).
+//
+// # Replacement bookkeeping
+//
+// True LRU is kept in O(1) per reference rather than by ageing every entry
+// on every access:
+//
+//   - Set-associative caches stamp the touched way with a per-cache
+//     monotonic counter; the LRU victim is the valid way with the smallest
+//     stamp. Stamps are unique (the counter never repeats), so the minimum
+//     is exactly the way an age walk would have aged the furthest, and the
+//     victim choice is bit-identical to the historical O(ways) age-rewrite
+//     scheme: first invalid way if any, else the least-recently-touched way.
+//   - The fully associative TLB keeps a page → slot hash index plus an
+//     intrusive doubly-linked recency list threaded through the slots (MRU
+//     at the head, LRU at the tail), so a hit is one map probe and a list
+//     splice instead of a 128-entry tag scan and a 128-entry age rewrite.
+//     While invalid slots remain, misses fill them from the highest index
+//     downward — the exact order the historical last-invalid-wins age walk
+//     produced — and once full the victim is the list tail, the entry a
+//     walk would have found with the maximal age.
+//
+// The only behavioural difference from the age-walk scheme is that 32-bit
+// ages saturated after 2^32 set references; the counter and list schemes
+// never saturate. No simulation here approaches that horizon.
 package cache
 
 import "fmt"
@@ -19,7 +43,8 @@ type Cache struct {
 	ways      int
 	lineShift uint
 	tags      []uint64 // sets*ways; 0 means invalid
-	age       []uint32 // LRU ages, lower = newer
+	stamp     []uint64 // per-way last-touch timestamp; victim = min over set
+	clock     uint64   // monotonic touch counter (unique stamps)
 
 	// Stats.
 	Accesses uint64
@@ -52,7 +77,7 @@ func New(name string, size, lineBytes, ways int) *Cache {
 		ways:      ways,
 		lineShift: shift,
 		tags:      make([]uint64, sets*ways),
-		age:       make([]uint32, sets*ways),
+		stamp:     make([]uint64, sets*ways),
 	}
 }
 
@@ -77,42 +102,41 @@ func (c *Cache) Probe(addr uint64) bool {
 }
 
 // Access references addr, updating tags, LRU, and statistics. It reports
-// whether the reference hit; on a miss the line is filled (victim = LRU).
+// whether the reference hit; on a miss the line is filled (victim = first
+// invalid way, else true LRU).
 func (c *Cache) Access(addr uint64) bool {
 	c.Accesses++
 	base := c.set(addr)
 	tag := c.line(addr)
-	victim, worstAge := base, uint32(0)
+	victim, oldest := -1, ^uint64(0)
+	invalid := -1
 	for w := 0; w < c.ways; w++ {
-		if c.tags[base+w] == tag {
-			c.touch(base, w)
+		switch t := c.tags[base+w]; {
+		case t == tag:
+			c.touch(base + w)
 			return true
-		}
-		if c.tags[base+w] == 0 {
-			// Prefer an invalid way; encode as an infinitely old entry.
-			if worstAge != ^uint32(0) {
-				victim, worstAge = base+w, ^uint32(0)
+		case t == 0:
+			if invalid < 0 {
+				invalid = base + w
 			}
-			continue
-		}
-		if c.age[base+w] >= worstAge && worstAge != ^uint32(0) {
-			victim, worstAge = base+w, c.age[base+w]
+		case c.stamp[base+w] < oldest:
+			victim, oldest = base+w, c.stamp[base+w]
 		}
 	}
 	c.Misses++
+	if invalid >= 0 {
+		victim = invalid
+	}
 	c.tags[victim] = tag
-	c.touch(base, victim-base)
+	c.touch(victim)
 	return false
 }
 
-// touch marks way w of set base most recently used.
-func (c *Cache) touch(base, w int) {
-	for i := 0; i < c.ways; i++ {
-		if c.age[base+i] < ^uint32(0) {
-			c.age[base+i]++
-		}
-	}
-	c.age[base+w] = 0
+// touch marks entry i most recently used. Stamps are unique, so min-stamp
+// victim selection is total-order LRU with no tie to break.
+func (c *Cache) touch(i int) {
+	c.clock++
+	c.stamp[i] = c.clock
 }
 
 // MissRate returns misses/accesses (0 when untouched).
@@ -136,7 +160,8 @@ func (c *Cache) LineBytes() int { return 1 << c.lineShift }
 // restoring the cache to its as-new cold state.
 func (c *Cache) Reset() {
 	clear(c.tags)
-	clear(c.age)
+	clear(c.stamp)
+	c.clock = 0
 	c.Accesses, c.Misses = 0, 0
 }
 
@@ -271,12 +296,24 @@ func (h *Hierarchy) busQueue(busFree *int64, now int64, busy int) int {
 	return int(start - now)
 }
 
-// TLB is a fully associative translation buffer with LRU replacement over
-// 4 KB pages (Table 3: 128 entries). Its timing effect is folded into cache
-// latencies; it exists for structural fidelity and statistics.
+// TLB is a fully associative translation buffer with true-LRU replacement
+// over 4 KB pages (Table 3: 128 entries). Its timing effect is folded into
+// cache latencies; it exists for structural fidelity and statistics.
+//
+// Lookup is a hash probe (page → slot) and recency is an intrusive
+// doubly-linked list over the slots, so every access is O(1) instead of the
+// O(entries) tag scan + age rewrite of a naive fully associative model.
+// Victim choice is bit-identical to the age walk: invalid slots fill from
+// the highest index downward, then the list tail (true LRU) is evicted.
 type TLB struct {
-	pages []uint64
-	age   []uint32
+	pages  []uint64 // slot -> page tag; 0 means invalid
+	next   []int32  // recency list: towards LRU
+	prev   []int32  // recency list: towards MRU
+	head   int32    // most recently used slot, -1 when empty
+	tail   int32    // least recently used slot, -1 when empty
+	idx    map[uint64]int32
+	filled int // slots holding a valid page; invalid slots are [0, n-filled)
+
 	// Stats.
 	Accesses uint64
 	Misses   uint64
@@ -287,45 +324,83 @@ func NewTLB(n int) *TLB {
 	if n < 1 {
 		n = 1
 	}
-	return &TLB{pages: make([]uint64, n), age: make([]uint32, n)}
+	t := &TLB{
+		pages: make([]uint64, n),
+		next:  make([]int32, n),
+		prev:  make([]int32, n),
+		idx:   make(map[uint64]int32, n),
+	}
+	t.head, t.tail = -1, -1
+	return t
 }
 
 // Access translates addr (4 KB pages), returning whether it hit.
 func (t *TLB) Access(addr uint64) bool {
 	t.Accesses++
 	page := addr>>12 | 1<<63 // bias so valid entries are never zero
-	victim, worst := 0, uint32(0)
-	for i := range t.pages {
-		if t.pages[i] == page {
-			t.touch(i)
-			return true
-		}
-		if t.pages[i] == 0 {
-			victim, worst = i, ^uint32(0)
-			continue
-		}
-		if t.age[i] >= worst && worst != ^uint32(0) {
-			victim, worst = i, t.age[i]
-		}
+	if i, ok := t.idx[page]; ok {
+		t.moveToFront(i)
+		return true
 	}
 	t.Misses++
-	t.pages[victim] = page
-	t.touch(victim)
+	var slot int32
+	if t.filled < len(t.pages) {
+		// Fill invalid slots from the top down, matching the historical
+		// last-invalid-wins victim scan.
+		slot = int32(len(t.pages) - 1 - t.filled)
+		t.filled++
+	} else {
+		slot = t.tail
+		t.unlink(slot)
+		delete(t.idx, t.pages[slot])
+	}
+	t.pages[slot] = page
+	t.idx[page] = slot
+	t.pushFront(slot)
 	return false
 }
 
 // Reset invalidates every entry and clears statistics without reallocating.
 func (t *TLB) Reset() {
 	clear(t.pages)
-	clear(t.age)
+	clear(t.idx)
+	t.head, t.tail = -1, -1
+	t.filled = 0
 	t.Accesses, t.Misses = 0, 0
 }
 
-func (t *TLB) touch(i int) {
-	for j := range t.age {
-		if t.age[j] < ^uint32(0) {
-			t.age[j]++
-		}
+// moveToFront splices slot i to the head of the recency list.
+func (t *TLB) moveToFront(i int32) {
+	if t.head == i {
+		return
 	}
-	t.age[i] = 0
+	t.unlink(i)
+	t.pushFront(i)
+}
+
+// unlink removes slot i from the recency list (i must be linked).
+func (t *TLB) unlink(i int32) {
+	if t.prev[i] >= 0 {
+		t.next[t.prev[i]] = t.next[i]
+	} else {
+		t.head = t.next[i]
+	}
+	if t.next[i] >= 0 {
+		t.prev[t.next[i]] = t.prev[i]
+	} else {
+		t.tail = t.prev[i]
+	}
+}
+
+// pushFront links slot i at the head of the recency list.
+func (t *TLB) pushFront(i int32) {
+	t.prev[i] = -1
+	t.next[i] = t.head
+	if t.head >= 0 {
+		t.prev[t.head] = i
+	}
+	t.head = i
+	if t.tail < 0 {
+		t.tail = i
+	}
 }

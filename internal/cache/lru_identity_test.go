@@ -1,0 +1,216 @@
+package cache
+
+import "testing"
+
+// This file regression-tests the O(1) LRU structures against the historical
+// O(n) age-walk implementations they replaced: the set-associative cache's
+// per-access age rewrite and the TLB's full-table scan. The references below
+// are verbatim ports of the replaced code; randomized access streams must
+// produce identical hit/miss sequences (and therefore identical victim
+// choices — a divergent eviction surfaces as a later hit/miss divergence,
+// and the final-state probes catch the rest).
+
+// refCache is the historical age-walk set-associative cache.
+type refCache struct {
+	sets, ways int
+	lineShift  uint
+	tags       []uint64
+	age        []uint32
+	Accesses   uint64
+	Misses     uint64
+}
+
+func newRefCache(model *Cache) *refCache {
+	return &refCache{
+		sets: model.sets, ways: model.ways, lineShift: model.lineShift,
+		tags: make([]uint64, model.sets*model.ways),
+		age:  make([]uint32, model.sets*model.ways),
+	}
+}
+
+func (c *refCache) Access(addr uint64) bool {
+	c.Accesses++
+	line := addr >> c.lineShift
+	base := int(line&uint64(c.sets-1)) * c.ways
+	victim, worstAge := base, uint32(0)
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == line {
+			c.touch(base, w)
+			return true
+		}
+		if c.tags[base+w] == 0 {
+			if worstAge != ^uint32(0) {
+				victim, worstAge = base+w, ^uint32(0)
+			}
+			continue
+		}
+		if c.age[base+w] >= worstAge && worstAge != ^uint32(0) {
+			victim, worstAge = base+w, c.age[base+w]
+		}
+	}
+	c.Misses++
+	c.tags[victim] = line
+	c.touch(base, victim-base)
+	return false
+}
+
+func (c *refCache) touch(base, w int) {
+	for i := 0; i < c.ways; i++ {
+		if c.age[base+i] < ^uint32(0) {
+			c.age[base+i]++
+		}
+	}
+	c.age[base+w] = 0
+}
+
+// refTLB is the historical age-walk fully associative TLB.
+type refTLB struct {
+	pages    []uint64
+	age      []uint32
+	Accesses uint64
+	Misses   uint64
+}
+
+func newRefTLB(n int) *refTLB {
+	return &refTLB{pages: make([]uint64, n), age: make([]uint32, n)}
+}
+
+func (t *refTLB) Access(addr uint64) bool {
+	t.Accesses++
+	page := addr>>12 | 1<<63
+	victim, worst := 0, uint32(0)
+	for i := range t.pages {
+		if t.pages[i] == page {
+			t.touch(i)
+			return true
+		}
+		if t.pages[i] == 0 {
+			victim, worst = i, ^uint32(0)
+			continue
+		}
+		if t.age[i] >= worst && worst != ^uint32(0) {
+			victim, worst = i, t.age[i]
+		}
+	}
+	t.Misses++
+	t.pages[victim] = page
+	t.touch(victim)
+	return false
+}
+
+func (t *refTLB) touch(i int) {
+	for j := range t.age {
+		if t.age[j] < ^uint32(0) {
+			t.age[j]++
+		}
+	}
+	t.age[i] = 0
+}
+
+// splitmix is a tiny deterministic generator for the randomized streams.
+func splitmix(state *uint64) uint64 {
+	*state += 0x9E3779B97F4A7C15
+	z := *state
+	z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+	z = (z ^ z>>27) * 0x94D049BB133111EB
+	return z ^ z>>31
+}
+
+// stream produces n addresses mixing a hot region (frequent re-touches, so
+// LRU order churns), a warm region, and cold sweeps (eviction pressure).
+func stream(seed uint64, n int, hotSpan, coldSpan uint64) []uint64 {
+	out := make([]uint64, n)
+	state := seed
+	for i := range out {
+		r := splitmix(&state)
+		switch {
+		case r%10 < 6:
+			out[i] = 0x10000 + r%hotSpan&^7
+		case r%10 < 8:
+			out[i] = 0x400000 + r%(4*hotSpan)&^7
+		default:
+			out[i] = 0x4000000 + r%coldSpan&^7
+		}
+	}
+	return out
+}
+
+func TestCacheVictimChoiceMatchesAgeWalk(t *testing.T) {
+	for _, geom := range []struct {
+		name             string
+		size, line, ways int
+	}{
+		{"l1-like", 8 << 10, 32, 2},
+		{"l2-like", 32 << 10, 32, 4},
+		{"tiny-8way", 1 << 10, 32, 8},
+		{"one-set", 256, 32, 8},
+	} {
+		t.Run(geom.name, func(t *testing.T) {
+			c := New("t", geom.size, geom.line, geom.ways)
+			ref := newRefCache(c)
+			for i, addr := range stream(uint64(geom.size)*31, 200000, 16<<10, 1<<20) {
+				if got, want := c.Access(addr), ref.Access(addr); got != want {
+					t.Fatalf("access %d (addr %#x): timestamp-LRU %v, age-walk %v", i, addr, got, want)
+				}
+			}
+			if c.Accesses != ref.Accesses || c.Misses != ref.Misses {
+				t.Fatalf("stats diverged: %d/%d vs %d/%d", c.Accesses, c.Misses, ref.Accesses, ref.Misses)
+			}
+			for i, tag := range ref.tags {
+				if c.tags[i] != tag {
+					t.Fatalf("final tag state diverged at way %d", i)
+				}
+			}
+		})
+	}
+}
+
+func TestTLBVictimChoiceMatchesAgeWalk(t *testing.T) {
+	for _, entries := range []int{4, 32, 128} {
+		tl := NewTLB(entries)
+		ref := newRefTLB(entries)
+		// Page-granular stream: hot pages churn the recency order, cold
+		// pages force evictions through the full table.
+		state := uint64(entries) * 0xABCD
+		for i := 0; i < 300000; i++ {
+			r := splitmix(&state)
+			var addr uint64
+			if r%5 < 3 {
+				addr = (r % uint64(entries)) << 12 // within-reach hot pages
+			} else {
+				addr = (r % uint64(8*entries)) << 12 // beyond-reach sweep
+			}
+			if got, want := tl.Access(addr), ref.Access(addr); got != want {
+				t.Fatalf("entries=%d access %d (page %#x): list-LRU %v, age-walk %v", entries, i, addr>>12, got, want)
+			}
+		}
+		if tl.Accesses != ref.Accesses || tl.Misses != ref.Misses {
+			t.Fatalf("entries=%d stats diverged: %d/%d vs %d/%d",
+				entries, tl.Accesses, tl.Misses, ref.Accesses, ref.Misses)
+		}
+		// Final resident sets must be identical (slot-for-slot: the fill
+		// order and victim choices are reproduced exactly).
+		for i := range tl.pages {
+			if tl.pages[i] != ref.pages[i] {
+				t.Fatalf("entries=%d final page state diverged at slot %d", entries, i)
+			}
+		}
+	}
+}
+
+func TestTLBResetRestoresColdState(t *testing.T) {
+	tl := NewTLB(8)
+	var first []bool
+	for i := 0; i < 64; i++ {
+		first = append(first, tl.Access(uint64(i%12)<<12))
+	}
+	tl.Reset()
+	if tl.Accesses != 0 || tl.Misses != 0 {
+		t.Fatal("reset kept statistics")
+	}
+	for i := 0; i < 64; i++ {
+		if got := tl.Access(uint64(i%12) << 12); got != first[i] {
+			t.Fatalf("replay after reset diverged at access %d", i)
+		}
+	}
+}

@@ -18,6 +18,11 @@ import (
 //  4. Front-end queues hold only instructions younger than everything in
 //     the window, and are themselves age-ordered.
 //  5. No committed (retired) instruction lingers anywhere.
+//  6. Event-issue bookkeeping (when enabled): every resident instruction
+//     records its true ring slot, the ready bitmap flags exactly the
+//     window's ready unissued instructions, and the store/barrier side
+//     lists cover every incomplete store and every unissued barrier
+//     carrier in the window.
 func (p *Pipeline) CheckInvariants() error {
 	// 1 + 2: window order and LSQ accounting.
 	var prev uint64
@@ -87,6 +92,43 @@ func (p *Pipeline) CheckInvariants() error {
 	}
 	if err := check("decodeQ", p.decodeQ); err != nil {
 		return err
+	}
+
+	// 6: event-driven issue bookkeeping mirrors the window exactly.
+	if p.eventIssue {
+		expect := make([]uint64, len(p.readyMask))
+		stores := make(map[uint64]bool)
+		barriers := make(map[uint64]bool)
+		for _, e := range p.storeQ {
+			if e.in.d.Seq == e.seq && !e.in.done && !e.in.squashed {
+				stores[e.seq] = true
+			}
+		}
+		for _, e := range p.barrierQ {
+			if e.in.d.Seq == e.seq && !e.in.issued && !e.in.squashed {
+				barriers[e.seq] = true
+			}
+		}
+		for i := 0; i < p.window.Len(); i++ {
+			in := p.window.At(i)
+			if slot := (p.window.head + i) % p.window.Cap(); int(in.wpos) != slot {
+				return fmt.Errorf("seq %d records slot %d, resides in slot %d", in.d.Seq, in.wpos, slot)
+			}
+			if !in.issued && in.ready() {
+				expect[in.wpos>>6] |= 1 << uint(in.wpos&63)
+			}
+			if in.d.St.Op == isa.OpStore && !in.done && !stores[in.d.Seq] {
+				return fmt.Errorf("incomplete store seq %d missing from storeQ", in.d.Seq)
+			}
+			if in.hasBarrier && !in.issued && !barriers[in.d.Seq] {
+				return fmt.Errorf("unissued barrier carrier seq %d missing from barrierQ", in.d.Seq)
+			}
+		}
+		for w := range expect {
+			if expect[w] != p.readyMask[w] {
+				return fmt.Errorf("ready bitmap word %d is %#x, window implies %#x", w, p.readyMask[w], expect[w])
+			}
+		}
 	}
 	return nil
 }

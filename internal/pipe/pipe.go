@@ -15,10 +15,41 @@
 // controller (internal/core) for the effective fetch and decode rates, and
 // the select loop honors no-select barriers; oracle modes suppress a single
 // stage's processing of wrong-path instructions (Section 3's limit study).
+//
+// # Event-driven wakeup
+//
+// The issue stage is event-driven rather than a per-cycle scan of the whole
+// window. The bookkeeping and its invariants (enforced by CheckInvariants,
+// and by construction bit-identical to the historical scan — Config's
+// LegacyScanIssue retains the scan as a cross-checkable reference):
+//
+//   - Dependent registration: at dispatch, an instruction whose source is an
+//     in-flight, incomplete producer appends itself to that producer's deps
+//     list (pointer + sequence number). A producer bound at rename is always
+//     incomplete, so it later either completes — firing the wakeup — or is
+//     squashed, in which case every registered dependent is younger and is
+//     squashed with it. Entries are validated by sequence number, so pool
+//     recycling can never alias a wakeup to the wrong dynamic instruction.
+//   - Ready bitmap: one bit per window slot, set exactly when the resident
+//     instruction has all operands available and has not issued. Bits are
+//     written at dispatch, set by producer completion (wakeup), and cleared
+//     at issue and at flush; readiness is monotonic while an instruction is
+//     window-resident, so no event can un-ready a set bit. Selection walks
+//     set bits oldest-first from the window head — the exact order of the
+//     historical scan — and pops at most IssueWidth issuable entries;
+//     entries skipped for structural reasons (functional unit exhausted,
+//     no-select barrier, memory dependence) keep their bit and are
+//     reconsidered the next cycle.
+//   - Side lists: in-flight stores (for O(pending-stores) memory
+//     disambiguation) and unissued no-select trigger followers (for the
+//     NoSelectStalls statistic) are kept in age order, appended at dispatch,
+//     truncated on flush, and lazily compacted; entries are seq-validated
+//     like deps.
 package pipe
 
 import (
 	"fmt"
+	"math/bits"
 
 	"selthrottle/internal/bpred"
 	"selthrottle/internal/cache"
@@ -59,6 +90,12 @@ type Config struct {
 	// (ablation/diagnostic; the default address-matching model is the
 	// realistic one).
 	PerfectDisambiguation bool
+
+	// LegacyScanIssue selects the historical O(window) wakeup/select scan
+	// instead of the event-driven issue stage. The two produce bit-identical
+	// simulations; the scan survives as the reference implementation for the
+	// identity regression tests and as a diagnostic fallback.
+	LegacyScanIssue bool
 
 	Oracle core.Oracle
 }
@@ -140,6 +177,16 @@ type inst struct {
 	srcs   [2]*inst
 	srcSeq [2]uint64
 
+	// wpos is the window ring slot this instruction occupies while
+	// dispatched (slots are stable for a resident instruction); it indexes
+	// the ready bitmap.
+	wpos int32
+
+	// deps lists the window-resident consumers waiting on this
+	// instruction's result; completion walks it to wake newly-ready
+	// dependents. The backing array survives pool recycling.
+	deps []instRef
+
 	issued   bool
 	done     bool
 	squashed bool
@@ -150,6 +197,14 @@ type inst struct {
 
 	// Per-unit activity attribution (moved to the wasted pool on squash).
 	ev [power.NumUnits]uint8
+}
+
+// instRef is a pool-safe reference to a dynamic instruction: the pointer is
+// only meaningful while the pointee's sequence number still equals seq (the
+// pool recycles instructions, and a recycled slot carries a new sequence).
+type instRef struct {
+	in  *inst
+	seq uint64
 }
 
 func (in *inst) isMem() bool  { return in.d.St.Op.IsMem() }
@@ -244,7 +299,14 @@ type Pipeline struct {
 	fetchHeldBySeq uint64 // oracle-fetch hold (0 = none)
 	fetchHeld      bool
 
-	unexecStores []uint64 // scratch for per-cycle memory disambiguation
+	unexecStores []uint64 // scratch for the legacy scan's memory disambiguation
+
+	// Event-driven issue state (unused under LegacyScanIssue). See the
+	// package comment for the invariants.
+	eventIssue bool
+	readyMask  []uint64  // per-window-slot bit: resident, ready, unissued
+	storeQ     []instRef // age-ordered in-flight (dispatched, incomplete) stores
+	barrierQ   []instRef // age-ordered unissued instructions carrying a no-select barrier
 
 	// free is the instruction pool: retired and squashed instructions are
 	// recycled here and handed back out by fetch, so the steady-state cycle
@@ -303,6 +365,8 @@ func New(cfg Config, w *prog.Walker, pred bpred.DirPredictor, est conf.Estimator
 		p.compQ[i] = make([]*inst, 0, cfg.IssueWidth)
 	}
 	p.unexecStores = make([]uint64, 0, cfg.LSQSize)
+	p.eventIssue = !cfg.LegacyScanIssue
+	p.readyMask = make([]uint64, (p.window.Cap()+63)/64)
 	return p
 }
 
@@ -346,6 +410,9 @@ func (p *Pipeline) Reset(w *prog.Walker, pred bpred.DirPredictor, est conf.Estim
 	p.fetchHeldBySeq = 0
 	p.fetchHeld = false
 	p.unexecStores = p.unexecStores[:0]
+	clear(p.readyMask)
+	p.storeQ = p.storeQ[:0]
+	p.barrierQ = p.barrierQ[:0]
 	p.tally = [power.NumUnits]uint32{}
 	p.flushCount = 0
 	p.Stats = Stats{}
@@ -353,17 +420,25 @@ func (p *Pipeline) Reset(w *prog.Walker, pred bpred.DirPredictor, est conf.Estim
 
 // allocInst hands out an instruction, recycling the pool before touching the
 // heap. Steady-state fetch never allocates: the pool is replenished by
-// commit and squash.
+// commit and squash. The deps backing array is kept across recycling so the
+// wakeup lists stop allocating once they reach their high-water capacities.
 func (p *Pipeline) allocInst() *inst {
 	if n := len(p.free) - 1; n >= 0 {
 		in := p.free[n]
 		p.free = p.free[:n]
+		deps := in.deps[:0]
 		*in = inst{}
+		in.deps = deps
 		p.poolReused++
 		return in
 	}
 	p.poolAllocs++
-	return new(inst)
+	in := new(inst)
+	// Pre-size the wakeup list so the common case (a handful of dependents)
+	// never grows it; rare crowded producers grow once and keep the larger
+	// backing array through recycling.
+	in.deps = make([]instRef, 0, 8)
+	return in
 }
 
 // freeInst returns an instruction to the pool. The instruction's fields are
@@ -610,7 +685,10 @@ func (p *Pipeline) dispatch() {
 		p.decodeQ.PopFront()
 
 		// Rename: bind sources to in-flight producers. The associated
-		// power events were counted at the decode stage.
+		// power events were counted at the decode stage. Each bound
+		// producer is by construction incomplete, so registering on its
+		// wakeup list guarantees exactly one completion (or a shared
+		// squash) per bound operand.
 		si := 0
 		for _, r := range [2]int8{in.d.St.Src1, in.d.St.Src2} {
 			if r == isa.RegNone {
@@ -620,6 +698,9 @@ func (p *Pipeline) dispatch() {
 				in.srcs[si] = prod
 				in.srcSeq[si] = prod.d.Seq
 				si++
+				if p.eventIssue {
+					prod.deps = append(prod.deps, instRef{in, in.d.Seq})
+				}
 			}
 		}
 		if d := in.d.St.Dest; d != isa.RegNone {
@@ -636,6 +717,23 @@ func (p *Pipeline) dispatch() {
 			in.barrier = b
 			in.hasBarrier = true
 		}
+		in.wpos = int32(p.window.backSlot())
+		if p.eventIssue {
+			// The slot's previous occupant left its bit clear, but write
+			// both ways so dispatch re-establishes the bitmap invariant
+			// unconditionally.
+			if in.ready() {
+				p.setReady(in)
+			} else {
+				p.clearReady(in)
+			}
+			if in.hasBarrier {
+				p.barrierQ = append(p.barrierQ, instRef{in, in.d.Seq})
+			}
+			if in.d.St.Op == isa.OpStore {
+				p.storeQ = append(p.storeQ, instRef{in, in.d.Seq})
+			}
+		}
 		p.window.PushBack(in)
 	}
 }
@@ -643,18 +741,194 @@ func (p *Pipeline) dispatch() {
 // ---------------------------------------------------------------- issue --
 
 func (p *Pipeline) issue() {
+	if p.eventIssue {
+		p.issueEvent()
+		return
+	}
+	p.issueScan()
+}
+
+// setReady flags in's window slot in the ready bitmap.
+func (p *Pipeline) setReady(in *inst) {
+	p.readyMask[in.wpos>>6] |= 1 << uint(in.wpos&63)
+}
+
+// clearReady unflags in's window slot in the ready bitmap.
+func (p *Pipeline) clearReady(in *inst) {
+	p.readyMask[in.wpos>>6] &^= 1 << uint(in.wpos&63)
+}
+
+// startExecution performs the bookkeeping shared by both issue
+// implementations for one selected instruction: mark it issued, account the
+// power events, compute its completion latency (including the D-cache access
+// for loads), and schedule it on the completion wheel.
+func (p *Pipeline) startExecution(in *inst) {
+	in.issued = true
+	in.issueCycle = p.cycle
+	if in.d.WrongPath {
+		p.Stats.WrongPathIssued++
+	}
+	p.note(in, power.UnitWindow) // operand read at issue
+	p.note(in, power.UnitALU)
+
+	lat := in.d.St.Op.Latency() + p.cfg.ExtraExecLat
+	if in.isLoad() {
+		dlat, l2 := p.mem.DataAccess(in.d.Addr, p.cycle)
+		lat += dlat
+		p.note(in, power.UnitLSQ)
+		p.note(in, power.UnitDCache)
+		if l2 {
+			p.note(in, power.UnitDCache2)
+		}
+	} else if in.d.St.Op == isa.OpStore {
+		p.note(in, power.UnitLSQ) // address insertion
+	}
+	if lat < 1 {
+		lat = 1
+	}
+	if lat >= maxCompLat {
+		lat = maxCompLat - 1
+	}
+	slot := (p.cycle + int64(lat)) % maxCompLat
+	p.compQ[slot] = append(p.compQ[slot], in)
+}
+
+// issueEvent is the event-driven issue stage: it walks the ready bitmap
+// oldest-first and pops at most IssueWidth issuable instructions, in exactly
+// the order the legacy full-window scan selected them. Entries skipped for
+// structural reasons (exhausted functional unit, blocked no-select barrier,
+// unresolved older same-address store, oracle-select suppression) keep their
+// ready bit for the next cycle.
+func (p *Pipeline) issueEvent() {
+	var fu [isa.NumFUKinds]int
+	for k := range fu {
+		fu[k] = p.cfg.FUCount[k]
+	}
+	issued := 0
+	oracleSel := p.cfg.Oracle == core.OracleSelect
+
+	// stopSeq reproduces the legacy scan's early exit: the scan stopped at
+	// the instruction that consumed the last issue slot, so no-select
+	// stalls are only accounted for older instructions. It stays at the
+	// maximum (count everything) when the width is not exhausted.
+	stopSeq := ^uint64(0)
+
+	// The window occupies ring slots [head, head+count) modulo the ring
+	// size; walk that range in age order as up to two ascending segments.
+	head, count, size := p.window.head, p.window.count, len(p.window.buf)
+	seg1hi, seg2hi := head+count, 0
+	if seg1hi > size {
+		seg2hi = seg1hi - size
+		seg1hi = size
+	}
+	lo, hi := head, seg1hi
+walk:
+	for seg := 0; seg < 2 && issued < p.cfg.IssueWidth; seg++ {
+		if seg == 1 {
+			if seg2hi == 0 {
+				break
+			}
+			lo, hi = 0, seg2hi
+		}
+		for w := lo >> 6; w<<6 < hi; w++ {
+			bits64 := p.readyMask[w]
+			if base := w << 6; base < lo {
+				bits64 &^= 1<<uint(lo-base) - 1
+			}
+			if rem := hi - w<<6; rem < 64 {
+				bits64 &= 1<<uint(rem) - 1
+			}
+			for bits64 != 0 {
+				in := p.window.buf[w<<6+bits.TrailingZeros64(bits64)]
+				bits64 &= bits64 - 1
+				if oracleSel && in.d.WrongPath {
+					continue
+				}
+				if in.hasBarrier && p.ctrl.Blocked(in.barrier) {
+					continue // counted against stopSeq below
+				}
+				// Both remaining gates are pure, so checking the cheap
+				// functional-unit one first is unobservable — and once the
+				// memory ports are spent it spares every remaining ready
+				// load its store-queue walk.
+				kind := in.d.St.Op.FU()
+				if fu[kind] == 0 {
+					continue
+				}
+				if in.isLoad() && !p.cfg.PerfectDisambiguation && p.loadBlocked(in) {
+					continue
+				}
+				fu[kind]--
+				issued++
+				p.clearReady(in)
+				p.startExecution(in)
+				if issued >= p.cfg.IssueWidth {
+					stopSeq = in.d.Seq
+					break walk
+				}
+			}
+		}
+	}
+
+	// NoSelectStalls accounting, matching the legacy scan bit for bit: one
+	// count per unissued, barrier-blocked instruction the scan would have
+	// visited this cycle — whether or not its operands are ready — i.e.
+	// every one older than the instruction that exhausted the issue width.
+	// The walk doubles as the list's lazy compaction.
+	if len(p.barrierQ) > 0 {
+		keep := p.barrierQ[:0]
+		for _, e := range p.barrierQ {
+			in := e.in
+			if in.d.Seq != e.seq || in.issued || in.squashed {
+				continue // issued or recycled: permanently off the list
+			}
+			keep = append(keep, e)
+			if e.seq >= stopSeq || (oracleSel && in.d.WrongPath) {
+				continue
+			}
+			if p.ctrl.Blocked(in.barrier) {
+				p.Stats.NoSelectStalls++
+			}
+		}
+		p.barrierQ = keep
+	}
+}
+
+// loadBlocked reports whether an older in-flight store to the same address
+// bars ld from issuing (memory disambiguation via the workload oracle's
+// store addresses, approximating perfect store-set prediction; the
+// conservative alternative serializes the whole window behind every store
+// and starves the issue stage of the wrong-path work the paper's selection
+// throttling targets). The walk doubles as storeQ's lazy compaction:
+// completed and recycled stores drop out.
+func (p *Pipeline) loadBlocked(ld *inst) bool {
+	blocked := false
+	keep := p.storeQ[:0]
+	for _, e := range p.storeQ {
+		st := e.in
+		if st.d.Seq != e.seq || st.done || st.squashed {
+			continue
+		}
+		keep = append(keep, e)
+		if e.seq < ld.d.Seq && st.d.Addr == ld.d.Addr {
+			blocked = true
+		}
+	}
+	p.storeQ = keep
+	return blocked
+}
+
+// issueScan is the historical O(window) wakeup/select scan, retained as the
+// reference implementation (Config.LegacyScanIssue) that the event-driven
+// stage is regression-tested against.
+func (p *Pipeline) issueScan() {
 	var fu [isa.NumFUKinds]int
 	for k := range fu {
 		fu[k] = p.cfg.FUCount[k]
 	}
 	issued := 0
 	// Memory disambiguation: a load may not issue past an older store to
-	// the same address that has not executed yet. Store addresses come
-	// from the workload oracle, approximating a modern memory-dependence
-	// predictor (sim-outorder with perfect store-set prediction); the
-	// conservative alternative serializes the whole window behind every
-	// store and starves the issue stage of the wrong-path work the paper's
-	// selection throttling targets.
+	// the same address that has not executed yet.
 	p.unexecStores = p.unexecStores[:0]
 	blockedLoad := func(in *inst) bool {
 		if !in.isLoad() || p.cfg.PerfectDisambiguation {
@@ -701,35 +975,8 @@ func (p *Pipeline) issue() {
 		}
 		fu[kind]--
 		issued++
-		in.issued = true
-		in.issueCycle = p.cycle
-		if in.d.WrongPath {
-			p.Stats.WrongPathIssued++
-		}
-		p.note(in, power.UnitWindow) // operand read at issue
-		p.note(in, power.UnitALU)
-
-		lat := in.d.St.Op.Latency() + p.cfg.ExtraExecLat
-		if in.isLoad() {
-			dlat, l2 := p.mem.DataAccess(in.d.Addr, p.cycle)
-			lat += dlat
-			p.note(in, power.UnitLSQ)
-			p.note(in, power.UnitDCache)
-			if l2 {
-				p.note(in, power.UnitDCache2)
-			}
-		} else if in.d.St.Op == isa.OpStore {
-			p.note(in, power.UnitLSQ) // address insertion
-			noteStore(in)             // still blocks same-address loads until done
-		}
-		if lat < 1 {
-			lat = 1
-		}
-		if lat >= maxCompLat {
-			lat = maxCompLat - 1
-		}
-		slot := (p.cycle + int64(lat)) % maxCompLat
-		p.compQ[slot] = append(p.compQ[slot], in)
+		p.startExecution(in)
+		noteStore(in) // an issued store still blocks same-address loads until done
 	}
 }
 
@@ -751,10 +998,33 @@ func (p *Pipeline) complete() {
 		if in.d.St.Dest != isa.RegNone {
 			p.note(in, power.UnitResultBus)
 		}
+		if p.eventIssue {
+			p.wakeDependents(in)
+		}
 		if in.d.St.Op == isa.OpBranch {
 			p.resolve(in)
 		}
 	}
+}
+
+// wakeDependents flags every registered consumer whose operands became
+// available with this completion. Rename only registers incomplete
+// producers, so the list is final by the time completion fires; entries are
+// validated by sequence number against pool recycling, and readiness is
+// re-derived from inst.ready so an instruction waiting on two producers is
+// woken only by the later completion. The list is cleared afterwards — a
+// completed producer can never be bound again.
+func (p *Pipeline) wakeDependents(in *inst) {
+	for _, e := range in.deps {
+		d := e.in
+		if d.d.Seq != e.seq || d.squashed || d.issued {
+			continue
+		}
+		if d.ready() {
+			p.setReady(d)
+		}
+	}
+	in.deps = in.deps[:0]
 }
 
 // resolve handles conditional-branch resolution: trigger release on a
@@ -789,7 +1059,23 @@ func (p *Pipeline) flushAfter(br *inst) {
 		if tail.isMem() {
 			p.lsqUsed--
 		}
+		if p.eventIssue {
+			p.clearReady(tail)
+		}
 		p.squash(tail)
+	}
+	if p.eventIssue {
+		// The side lists are age-ordered, so a flush truncates a suffix.
+		q := p.storeQ
+		for len(q) > 0 && q[len(q)-1].seq > seq {
+			q = q[:len(q)-1]
+		}
+		p.storeQ = q
+		b := p.barrierQ
+		for len(b) > 0 && b[len(b)-1].seq > seq {
+			b = b[:len(b)-1]
+		}
+		p.barrierQ = b
 	}
 
 	// Rebuild the rename table from the surviving window contents.

@@ -3,7 +3,10 @@ package pipe
 // ring is a bounded FIFO deque used for the instruction window and the
 // front-end queues. All simulator structures are bounded (window, LSQ,
 // fetch and decode buffers), so a fixed ring avoids per-cycle allocation in
-// the hottest loops.
+// the hottest loops. Capacities are arbitrary (not power-of-two), so index
+// wrapping uses compare-and-subtract instead of modulo: every computed index
+// is below twice the capacity, and a conditional subtract avoids the
+// hardware divide that made ring ops show up in cycle-loop profiles.
 type ring[T any] struct {
 	buf   []T
 	head  int
@@ -21,10 +24,23 @@ func (r *ring[T]) Len() int   { return r.count }
 func (r *ring[T]) Cap() int   { return len(r.buf) }
 func (r *ring[T]) Full() bool { return r.count == len(r.buf) }
 
+// wrap reduces an index in [0, 2*cap) into [0, cap).
+func (r *ring[T]) wrap(i int) int {
+	if i >= len(r.buf) {
+		i -= len(r.buf)
+	}
+	return i
+}
+
 // At returns the i-th element from the front (0 = oldest).
 func (r *ring[T]) At(i int) T {
-	return r.buf[(r.head+i)%len(r.buf)]
+	return r.buf[r.wrap(r.head+i)]
 }
+
+// backSlot returns the buffer index the next PushBack will occupy. Slots are
+// stable while an element is resident, which lets callers index side
+// structures (e.g. the issue stage's ready bitmap) by slot.
+func (r *ring[T]) backSlot() int { return r.wrap(r.head + r.count) }
 
 // PushBack appends v; it panics when full (callers check Full first — a
 // violation is a back-pressure bug, not a recoverable condition).
@@ -32,7 +48,7 @@ func (r *ring[T]) PushBack(v T) {
 	if r.Full() {
 		panic("pipe: ring overflow")
 	}
-	r.buf[(r.head+r.count)%len(r.buf)] = v
+	r.buf[r.wrap(r.head+r.count)] = v
 	r.count++
 }
 
@@ -44,7 +60,7 @@ func (r *ring[T]) PopFront() T {
 	v := r.buf[r.head]
 	var zero T
 	r.buf[r.head] = zero
-	r.head = (r.head + 1) % len(r.buf)
+	r.head = r.wrap(r.head + 1)
 	r.count--
 	return v
 }
@@ -54,7 +70,7 @@ func (r *ring[T]) PopBack() T {
 	if r.count == 0 {
 		panic("pipe: ring underflow")
 	}
-	i := (r.head + r.count - 1) % len(r.buf)
+	i := r.wrap(r.head + r.count - 1)
 	v := r.buf[i]
 	var zero T
 	r.buf[i] = zero
@@ -66,7 +82,7 @@ func (r *ring[T]) PopBack() T {
 func (r *ring[T]) Clear() {
 	for i := 0; i < r.count; i++ {
 		var zero T
-		r.buf[(r.head+i)%len(r.buf)] = zero
+		r.buf[r.wrap(r.head+i)] = zero
 	}
 	r.head, r.count = 0, 0
 }

@@ -157,12 +157,20 @@ func (w *Walker) Next(out *DynInst) {
 	}
 	idx := w.st.Index
 	st := blk.Code[idx]
-	*out = DynInst{
-		Seq:  w.seq,
-		PC:   blk.Base + uint64(idx)*InstBytes,
-		St:   st,
-		BrID: NoBranch,
-	}
+	// Reset fields individually instead of assigning a DynInst literal: the
+	// literal would zero the ~300-byte Ckpt (call-stack array) on every
+	// instruction, and Ckpt is only meaningful — and always overwritten —
+	// for conditional branches. Non-branch instructions may carry a stale
+	// Ckpt; nothing reads it (Recover rejects non-branches).
+	out.Seq = w.seq
+	out.PC = blk.Base + uint64(idx)*InstBytes
+	out.St = st
+	out.BrID = NoBranch
+	out.Taken = false
+	out.TakenPC = 0
+	out.FallPC = 0
+	out.Addr = 0
+	out.WrongPath = false
 	w.seq++
 	w.st.Index++
 

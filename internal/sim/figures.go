@@ -71,7 +71,9 @@ type FigureResult struct {
 // experiment on every profile, producing the paper's four metric groups.
 // The whole (configuration x benchmark) grid is flattened into one job list
 // and executed on the shared pool of reusable Runners, so parallelism spans
-// the full figure without constructing a simulator per cell. Output is
+// the full figure without constructing a simulator per cell; grid cells
+// already in the process-wide result cache (shared baselines, repeated
+// experiments, earlier figures) are served without re-simulation. Output is
 // independent of GOMAXPROCS: every run is deterministic and slot-addressed.
 func RunFigure(name string, exps []Experiment, opts Options) *FigureResult {
 	opts = opts.withDefaults()
@@ -85,7 +87,7 @@ func RunFigure(name string, exps []Experiment, opts Options) *FigureResult {
 	np := len(opts.Profiles)
 	all := make([]Result, len(cfgs)*np)
 	runJobs(len(all), func(r *Runner, k int) {
-		all[k] = r.Run(cfgs[k/np], opts.Profiles[k%np])
+		all[k] = runCached(r, cfgs[k/np], opts.Profiles[k%np])
 	})
 
 	fr := &FigureResult{Name: name, Options: opts}

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"testing"
+
+	"selthrottle/internal/core"
+	"selthrottle/internal/prog"
+)
+
+// The event-driven issue stage must be indistinguishable from the legacy
+// full-window scan it replaced: same issue order, same statistics (including
+// NoSelectStalls, which counts against the scan's early-exit point), same
+// power accounting, same cache state evolution. Result is comparable, so ==
+// is a bit-level check across all of it. Runs bypass the result cache (each
+// goes to a dedicated Runner).
+
+// runWithIssueMode executes cfg/profile with the chosen issue
+// implementation and strips the mode flag from the result's Config so the
+// two modes compare equal on everything observable.
+func runWithIssueMode(cfg Config, p prog.Profile, legacy bool) Result {
+	cfg.Pipe.LegacyScanIssue = legacy
+	res := NewRunner().Run(cfg, p)
+	res.Config.Pipe.LegacyScanIssue = false
+	return res
+}
+
+// identityPolicies are the experiment shapes that exercise every issue-stage
+// code path: plain selection, no-select barriers (stall accounting), decode
+// and fetch throttling interplay, gating, and the oracle-select suppression.
+func identityPolicies() []Experiment {
+	c2 := BestExperiment()
+	b5, _ := ExperimentByID("B5")
+	return []Experiment{
+		{ID: "baseline", Policy: core.Baseline(), Estimator: EstBPRU},
+		c2,
+		b5,
+		pipelineGating("PG"),
+		{ID: "oracle-select", Policy: core.Baseline(), Estimator: EstBPRU, Oracle: core.OracleSelect},
+		{ID: "oracle-fetch", Policy: core.Baseline(), Estimator: EstBPRU, Oracle: core.OracleFetch},
+	}
+}
+
+func TestEventIssueMatchesScanAllProfiles(t *testing.T) {
+	// Every profile under the two policies that stress the issue stage the
+	// hardest: the plain baseline and C2's no-select barriers.
+	cfg := Default()
+	cfg.Instructions = 12000
+	cfg.Warmup = 3000
+	c2 := BestExperiment()
+	for _, p := range prog.Profiles() {
+		for _, e := range []Experiment{{ID: "baseline", Policy: core.Baseline(), Estimator: EstBPRU}, c2} {
+			ecfg := e.Apply(cfg)
+			if got, want := runWithIssueMode(ecfg, p, false), runWithIssueMode(ecfg, p, true); got != want {
+				t.Errorf("%s/%s: event-driven issue diverged from scan reference", p.Name, e.ID)
+			}
+		}
+	}
+}
+
+func TestEventIssueMatchesScanAllPolicies(t *testing.T) {
+	cfg := Default()
+	cfg.Instructions = 10000
+	cfg.Warmup = 2500
+	for _, name := range []string{"go", "gzip", "twolf"} {
+		p, _ := prog.ProfileByName(name)
+		for _, e := range identityPolicies() {
+			ecfg := e.Apply(cfg)
+			if got, want := runWithIssueMode(ecfg, p, false), runWithIssueMode(ecfg, p, true); got != want {
+				t.Errorf("%s/%s: event-driven issue diverged from scan reference", name, e.ID)
+			}
+		}
+	}
+}
+
+func TestEventIssueMatchesScanStressShapes(t *testing.T) {
+	// Structural corner cases: deep pipe (long latencies, wheel clamping),
+	// tiny window (constant back-pressure, constant flushes), perfect
+	// disambiguation (store-queue path disabled), and a narrow issue width
+	// (the scan's early exit fires nearly every cycle).
+	p, _ := prog.ProfileByName("go")
+	shapes := []func(*Config){
+		func(c *Config) { c.Pipe.SetDepth(28) },
+		func(c *Config) { c.Pipe.WindowSize = 16; c.Pipe.LSQSize = 8 },
+		func(c *Config) { c.Pipe.PerfectDisambiguation = true },
+		func(c *Config) { c.Pipe.IssueWidth = 2 },
+	}
+	for i, shape := range shapes {
+		cfg := BestExperiment().Apply(Default())
+		cfg.Instructions = 8000
+		cfg.Warmup = 2000
+		shape(&cfg)
+		if got, want := runWithIssueMode(cfg, p, false), runWithIssueMode(cfg, p, true); got != want {
+			t.Errorf("shape %d: event-driven issue diverged from scan reference", i)
+		}
+	}
+}

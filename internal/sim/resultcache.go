@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"selthrottle/internal/conf"
+	"selthrottle/internal/core"
+	"selthrottle/internal/prog"
+)
+
+// This file implements the memoizing result cache behind the experiment
+// drivers. Simulation is a pure function of (Config, Profile) — determinism
+// tests enforce it — so a Result computed once is valid for the whole
+// process. Figures, sweeps, tables, the confidence harness, the ablations,
+// and the calibration loop all overlap heavily (every figure shares the same
+// baseline grid, A7/B9/C7 are one configuration, the depth-14 sweep point is
+// the figure-5 cell, the BPRU confidence run is the baseline), so a shared
+// cache removes entire re-simulations rather than shaving cycles.
+//
+// Keys are canonicalized: fields that provably cannot influence the
+// simulation (policy names, the gating threshold of a non-gating policy, the
+// JRS threshold of a BPRU run, the paper-reported calibration targets of a
+// profile) are normalized away so cosmetically different descriptions of the
+// same machine share one entry. The cached Result is rewritten with the
+// caller's exact Config and profile name on the way out, so callers cannot
+// observe the normalization.
+
+// cacheKey identifies one simulation point. Config and Profile are plain
+// comparable value types, so the key needs no serialization.
+type cacheKey struct {
+	cfg     Config
+	profile prog.Profile
+}
+
+// cacheEntry is a single-flight slot: the first requester computes the
+// result under the once while later requesters for the same point block and
+// then read it.
+type cacheEntry struct {
+	once sync.Once
+	res  Result
+}
+
+// ResultCache memoizes Results by canonicalized (Config, Profile). It is
+// safe for concurrent use; concurrent requests for the same point simulate
+// it once. Entries are retained until Clear — a Result is a few hundred
+// bytes, so even figure-scale grids stay far below one megabyte.
+type ResultCache struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*cacheEntry
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+}
+
+// NewResultCache returns an empty cache.
+func NewResultCache() *ResultCache {
+	return &ResultCache{entries: map[cacheKey]*cacheEntry{}}
+}
+
+// canonicalConfig zeroes the Config fields that cannot influence simulation:
+// the policy's display name, the specs a gating policy ignores, the gate
+// threshold a selective policy ignores, and the JRS threshold of a non-JRS
+// estimator (including normalizing the empty estimator kind to its BPRU
+// default).
+func canonicalConfig(cfg Config) Config {
+	cfg.Policy.Name = ""
+	if cfg.Policy.Gating {
+		cfg.Policy.ByClass = [conf.NumClasses]core.Spec{}
+	} else {
+		cfg.Policy.GateThreshold = 0
+	}
+	if cfg.Estimator != EstJRS {
+		cfg.Estimator = EstBPRU
+		cfg.JRSThreshold = 0
+	}
+	return cfg
+}
+
+// canonicalProfile normalizes the calibration-override encodings (zero means
+// default) and zeroes the paper-reported reference fields, which only feed
+// reports and tests, never the generator.
+func canonicalProfile(p prog.Profile) prog.Profile {
+	p.NoiseScaleOverride = p.NoiseScale()
+	p.HardFreqOverride = p.HardFreq()
+	p.PaperInput = ""
+	p.PaperMInsts, p.PaperMBranch = 0, 0
+	p.PaperMissPct, p.TargetMissTol = 0, 0
+	return p
+}
+
+// Run returns the memoized Result for (cfg, profile), simulating it on r at
+// most once per cache lifetime. The returned Result carries the caller's
+// exact cfg.
+func (c *ResultCache) Run(r *Runner, cfg Config, profile prog.Profile) Result {
+	key := cacheKey{canonicalConfig(cfg), canonicalProfile(profile)}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	computed := false
+	e.once.Do(func() {
+		computed = true
+		e.res = r.Run(cfg, profile)
+	})
+	if computed {
+		c.misses.Add(1)
+	} else {
+		c.hits.Add(1)
+	}
+	res := e.res
+	res.Config = cfg
+	res.Benchmark = profile.Name
+	return res
+}
+
+// Stats reports the cache's hit and miss counts since construction (or the
+// last Clear).
+func (c *ResultCache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len reports the number of memoized points.
+func (c *ResultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Clear drops every entry and zeroes the statistics.
+func (c *ResultCache) Clear() {
+	c.mu.Lock()
+	c.entries = map[cacheKey]*cacheEntry{}
+	c.mu.Unlock()
+	c.hits.Store(0)
+	c.misses.Store(0)
+}
+
+// processCache is the process-wide cache every driver in this package (and
+// every command built on it) shares.
+var (
+	processCache   = NewResultCache()
+	cachingEnabled atomic.Bool
+)
+
+func init() { cachingEnabled.Store(true) }
+
+// SetResultCaching enables or disables the process-wide result cache and
+// returns the previous setting. Disabling is for measurements that must
+// exercise the simulator itself (benchmarks, identity tests); the cache
+// never changes results, only whether they are recomputed.
+func SetResultCaching(on bool) (previous bool) {
+	return cachingEnabled.Swap(on)
+}
+
+// ResultCacheStats reports the process-wide cache's hit/miss counters.
+func ResultCacheStats() (hits, misses uint64) { return processCache.Stats() }
+
+// ClearResultCache empties the process-wide cache (long-running processes
+// exploring unbounded configuration spaces can bound memory with periodic
+// clears).
+func ClearResultCache() { processCache.Clear() }
+
+// WriteCacheSummary prints the process-wide cache's reuse summary, for the
+// drivers' -v flag.
+func WriteCacheSummary(w io.Writer) {
+	hits, misses := processCache.Stats()
+	total := hits + misses
+	pct := 0.0
+	if total > 0 {
+		pct = 100 * float64(hits) / float64(total)
+	}
+	fmt.Fprintf(w, "result cache: %d simulations served, %d hits / %d misses (%.1f%% reuse), %d points held\n",
+		total, hits, misses, pct, processCache.Len())
+}
+
+// runCached is the entry the drivers use: it consults the process-wide cache
+// unless caching is disabled.
+func runCached(r *Runner, cfg Config, profile prog.Profile) Result {
+	if !cachingEnabled.Load() {
+		return r.Run(cfg, profile)
+	}
+	return processCache.Run(r, cfg, profile)
+}

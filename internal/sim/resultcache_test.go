@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"selthrottle/internal/prog"
+)
+
+// cacheTestProfiles returns a two-profile set for fast sweep tests.
+func cacheTestProfiles() []prog.Profile {
+	var out []prog.Profile
+	for _, n := range []string{"gzip", "twolf"} {
+		p, _ := prog.ProfileByName(n)
+		out = append(out, p)
+	}
+	return out
+}
+
+// TestCachedSweepsMatchUncached is the cache's correctness gate: the figure
+// and sweep harnesses must produce bit-identical output with the cache cold,
+// with it warm (every point a hit), and with caching disabled entirely.
+func TestCachedSweepsMatchUncached(t *testing.T) {
+	opts := Options{Instructions: 8000, Warmup: 2000, Profiles: cacheTestProfiles()}
+	depths := []int{6, 10, 14}
+
+	prev := SetResultCaching(false)
+	defer SetResultCaching(prev)
+	uncached := DepthSweep(opts, depths)
+	uncachedSize := SizeSweep(opts, []int{8, 16})
+
+	SetResultCaching(true)
+	ClearResultCache()
+	cold := DepthSweep(opts, depths)
+	h0, m0 := ResultCacheStats()
+	warm := DepthSweep(opts, depths)
+	h1, m1 := ResultCacheStats()
+	warmSize := SizeSweep(opts, []int{8, 16})
+
+	if !reflect.DeepEqual(uncached, cold) {
+		t.Fatal("cold cached DepthSweep diverged from uncached")
+	}
+	if !reflect.DeepEqual(uncached, warm) {
+		t.Fatal("warm cached DepthSweep diverged from uncached")
+	}
+	if !reflect.DeepEqual(uncachedSize, warmSize) {
+		t.Fatal("cached SizeSweep diverged from uncached")
+	}
+	if m1 != m0 {
+		t.Fatalf("repeated sweep re-simulated %d points", m1-m0)
+	}
+	if wantHits := h0 + m0; h1-h0 != wantHits {
+		t.Fatalf("repeated sweep hit %d of %d points", h1-h0, wantHits)
+	}
+}
+
+// TestCacheSharesBaselinesAcrossFigures pins the headline reuse effect: two
+// figures over the same options share their baseline grid (and any repeated
+// experiment), so the second figure simulates only its new cells.
+func TestCacheSharesBaselinesAcrossFigures(t *testing.T) {
+	opts := Options{Instructions: 8000, Warmup: 2000, Profiles: cacheTestProfiles()}
+	prev := SetResultCaching(true)
+	defer SetResultCaching(prev)
+	ClearResultCache()
+
+	RunFigure("first", []Experiment{BestExperiment()}, opts)
+	_, m0 := ResultCacheStats()
+	fr := RunFigure("second", []Experiment{pipelineGating("PG")}, opts)
+	_, m1 := ResultCacheStats()
+
+	np := len(opts.Profiles)
+	if int(m1-m0) != np {
+		t.Fatalf("second figure simulated %d points, want %d (baseline shared)", m1-m0, np)
+	}
+	if len(fr.Baselines) != np {
+		t.Fatal("figure shape wrong")
+	}
+}
+
+// TestCacheCanonicalization: configurations that differ only in
+// simulation-irrelevant fields (policy display name, JRS threshold under
+// BPRU, gate threshold of a non-gating policy) must share one entry — and
+// the returned Result must still carry the caller's exact Config.
+func TestCacheCanonicalization(t *testing.T) {
+	p, _ := prog.ProfileByName("gzip")
+	cfg := Default()
+	cfg.Instructions = 6000
+	cfg.Warmup = 1500
+
+	prev := SetResultCaching(true)
+	defer SetResultCaching(prev)
+	ClearResultCache()
+
+	a := cfg
+	a.Policy.Name = "spelled-one-way"
+	a.JRSThreshold = 12
+	b := cfg
+	b.Policy.Name = "spelled-differently"
+	b.JRSThreshold = 99        // ignored: estimator is BPRU
+	b.Policy.GateThreshold = 7 // ignored: policy is not gating
+
+	ra := Run(a, p)
+	_, m0 := ResultCacheStats()
+	rb := Run(b, p)
+	h1, m1 := ResultCacheStats()
+	if m1 != m0 || h1 == 0 {
+		t.Fatal("canonically equal configurations were simulated twice")
+	}
+	if ra.Config != a || rb.Config != b {
+		t.Fatal("cached results must carry the caller's exact Config")
+	}
+	ra.Config, rb.Config = Config{}, Config{}
+	if ra != rb {
+		t.Fatal("shared entry returned different results")
+	}
+
+	// The JRS threshold is semantic under the JRS estimator: no sharing.
+	ja := cfg
+	ja.Estimator = EstJRS
+	ja.JRSThreshold = 4
+	jb := ja
+	jb.JRSThreshold = 12
+	Run(ja, p)
+	_, m2 := ResultCacheStats()
+	Run(jb, p)
+	if _, m3 := ResultCacheStats(); m3 != m2+1 {
+		t.Fatal("distinct JRS thresholds must not share an entry")
+	}
+}
+
+func TestCacheClearAndSummary(t *testing.T) {
+	p, _ := prog.ProfileByName("gzip")
+	cfg := Default()
+	cfg.Instructions = 6000
+	cfg.Warmup = 1500
+
+	prev := SetResultCaching(true)
+	defer SetResultCaching(prev)
+	ClearResultCache()
+	Run(cfg, p)
+	Run(cfg, p)
+	h, m := ResultCacheStats()
+	if h != 1 || m != 1 {
+		t.Fatalf("stats = %d hits / %d misses, want 1/1", h, m)
+	}
+	var sb strings.Builder
+	WriteCacheSummary(&sb)
+	if !strings.Contains(sb.String(), "1 hits / 1 misses") {
+		t.Fatalf("summary missing counters: %q", sb.String())
+	}
+	ClearResultCache()
+	if h, m = ResultCacheStats(); h != 0 || m != 0 {
+		t.Fatal("clear kept statistics")
+	}
+	Run(cfg, p)
+	if _, m = ResultCacheStats(); m != 1 {
+		t.Fatal("cleared cache did not re-simulate")
+	}
+}
+
+// TestCacheConcurrentSingleFlight: hammering one point from many goroutines
+// simulates it exactly once and returns identical results everywhere.
+func TestCacheConcurrentSingleFlight(t *testing.T) {
+	p, _ := prog.ProfileByName("twolf")
+	cfg := Default()
+	cfg.Instructions = 6000
+	cfg.Warmup = 1500
+
+	c := NewResultCache()
+	const workers = 8
+	results := make([]Result, workers)
+	done := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			results[w] = c.Run(NewRunner(), cfg, p)
+			done <- w
+		}(w)
+	}
+	for i := 0; i < workers; i++ {
+		<-done
+	}
+	if _, m := c.Stats(); m != 1 {
+		t.Fatalf("point simulated %d times under contention", m)
+	}
+	for w := 1; w < workers; w++ {
+		if results[w] != results[0] {
+			t.Fatal("concurrent callers observed different results")
+		}
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", c.Len())
+	}
+}

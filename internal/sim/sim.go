@@ -24,10 +24,19 @@
 // benchmark) pair. Because every run starts from an identical reset state,
 // experiment results are independent of GOMAXPROCS and of which pooled
 // Runner served them.
+//
+// # Result memoization
+//
+// Behind the Runner pool sits a process-wide memoizing result cache keyed by
+// canonicalized (Config, Profile) — see resultcache.go. Since runs are pure
+// functions of their inputs, every driver consults it before simulating, so
+// the overlapping baselines of the figure and sweep grids (and repeated
+// invocations in one process) are simulated exactly once. SetResultCaching
+// disables it for raw-throughput measurement; WriteCacheSummary reports the
+// reuse counters behind the commands' -v flag.
 package sim
 
 import (
-	"fmt"
 	"runtime"
 	"sync"
 
@@ -206,11 +215,13 @@ func (r *Runner) Run(cfg Config, profile prog.Profile) Result {
 var runnerPool = sync.Pool{New: func() any { return NewRunner() }}
 
 // Run executes one configuration on one benchmark profile using a pooled
-// run context.
+// run context, consulting the process-wide result cache first: a point
+// already simulated in this process is returned without re-simulation
+// (disable with SetResultCaching for raw-throughput measurements).
 func Run(cfg Config, profile prog.Profile) Result {
 	r := runnerPool.Get().(*Runner)
 	defer runnerPool.Put(r)
-	return r.Run(cfg, profile)
+	return runCached(r, cfg, profile)
 }
 
 // runJobs executes jobs 0..n-1 across a bounded worker pool. Each worker
@@ -256,16 +267,35 @@ func runJobs(n int, job func(r *Runner, i int)) {
 
 // programCache memoizes generated programs: every experiment reuses the same
 // eight CFGs, and generation cost would otherwise dominate short test runs.
-var programCache sync.Map // Profile.Name+seed -> *prog.Program
+// The key is a comparable struct (not a formatted string) so the per-Run
+// lookup allocates nothing.
+type programKey struct {
+	name        string
+	seed        uint64
+	noise, hard float64
+}
+
+var (
+	programMu    sync.RWMutex
+	programCache = map[programKey]*prog.Program{}
+)
 
 func getProgram(profile prog.Profile) *prog.Program {
-	key := fmt.Sprintf("%s/%x/%g/%g", profile.Name, profile.Seed, profile.NoiseScale(), profile.HardFreq())
-	if v, ok := programCache.Load(key); ok {
-		return v.(*prog.Program)
+	key := programKey{profile.Name, profile.Seed, profile.NoiseScale(), profile.HardFreq()}
+	programMu.RLock()
+	p := programCache[key]
+	programMu.RUnlock()
+	if p != nil {
+		return p
 	}
-	p := prog.Generate(profile)
-	actual, _ := programCache.LoadOrStore(key, p)
-	return actual.(*prog.Program)
+	generated := prog.Generate(profile)
+	programMu.Lock()
+	if p = programCache[key]; p == nil {
+		p = generated
+		programCache[key] = p
+	}
+	programMu.Unlock()
+	return p
 }
 
 // subMeter returns a-b field-wise (measurement-interval activity).
@@ -356,11 +386,12 @@ func AverageComparison(cs []Comparison) Comparison {
 }
 
 // RunAll executes a configuration across profiles on the shared worker pool
-// and returns results in profile order.
+// and returns results in profile order. Points already in the process-wide
+// result cache are served without re-simulation.
 func RunAll(cfg Config, profiles []prog.Profile) []Result {
 	results := make([]Result, len(profiles))
 	runJobs(len(profiles), func(r *Runner, i int) {
-		results[i] = r.Run(cfg, profiles[i])
+		results[i] = runCached(r, cfg, profiles[i])
 	})
 	return results
 }

@@ -39,6 +39,14 @@
 //
 // A reused Runner resets every component to its exact as-new state between
 // runs, so results are bit-identical to fresh construction.
+//
+// Simulation is a pure function of (Config, Profile), so Run and every
+// figure/sweep harness additionally memoizes results in a process-wide
+// cache: a point is simulated at most once per process, and the overlapping
+// baselines of figure grids and sweeps are shared. Runner.Run bypasses the
+// cache; SetResultCaching(false) disables it globally (for raw-throughput
+// measurement), and CacheStats/ClearResultCache expose its reuse counters
+// and memory bound.
 package selthrottle
 
 import (
@@ -102,3 +110,16 @@ func ExperimentByID(id string) (Experiment, bool) { return sim.ExperimentByID(id
 func RunFigure(name string, exps []Experiment, opts Options) *sim.FigureResult {
 	return sim.RunFigure(name, exps, opts)
 }
+
+// SetResultCaching enables or disables the process-wide result cache shared
+// by Run and every figure/sweep harness, returning the previous setting. The
+// cache never changes results (runs are pure), only whether a repeated
+// (Config, Profile) point is re-simulated.
+func SetResultCaching(on bool) (previous bool) { return sim.SetResultCaching(on) }
+
+// CacheStats reports the process-wide result cache's hit/miss counters.
+func CacheStats() (hits, misses uint64) { return sim.ResultCacheStats() }
+
+// ClearResultCache empties the process-wide result cache, bounding memory in
+// long-running processes that explore unbounded configuration spaces.
+func ClearResultCache() { sim.ClearResultCache() }
