@@ -226,6 +226,36 @@ func BenchmarkIssueStage(b *testing.B) {
 	}
 }
 
+// BenchmarkWalkerNext isolates the workload walker — the single hottest
+// function of the cycle loop — on the highest-misprediction profile,
+// comparing the fast path (integer outcome thresholds, flat blockMeta
+// tables) against the retained legacy reference (float thresholds, block
+// chasing, memRef map). The two are bit-identical in output; the identity
+// tests enforce it.
+func BenchmarkWalkerNext(b *testing.B) {
+	profile, _ := prog.ProfileByName("go")
+	program := prog.Generate(profile)
+	for _, mode := range []struct {
+		name   string
+		legacy bool
+	}{{"fast", false}, {"legacy", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			w := prog.NewWalker(program)
+			w.SetLegacy(mode.legacy)
+			var d prog.DynInst
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Next(&d)
+				if d.BrID != prog.NoBranch {
+					w.Steer(d.Taken)
+					w.Release(&d)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkTLBAccess isolates the fully associative TLB: a mixed stream over
 // a working set about twice the TLB's 128-entry reach, so hits exercise the
 // O(1) recency splice and misses exercise victim eviction. allocs/op guards

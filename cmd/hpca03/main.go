@@ -6,6 +6,7 @@
 //
 //	hpca03 -exp <experiment> [-n instructions] [-warmup instructions]
 //	       [-depth stages] [-kb totalKB] [-bench name]
+//	       [-cpuprofile file] [-memprofile file]
 //
 // Experiments:
 //
@@ -28,6 +29,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"selthrottle/internal/prog"
@@ -43,7 +46,38 @@ func main() {
 	kb := flag.Int("kb", 16, "total predictor+estimator budget in KB (split half/half)")
 	bench := flag.String("bench", "", "restrict to a comma-separated list of benchmarks")
 	verbose := flag.Bool("v", false, "print the process-wide result-cache reuse summary at exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hpca03: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "hpca03: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hpca03: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the steady-state heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "hpca03: -memprofile: %v\n", err)
+			}
+		}()
+	}
 	if *verbose {
 		// Every experiment below shares one process-wide result cache, so
 		// overlapping grids (shared baselines, repeated experiment points

@@ -99,6 +99,9 @@ func main() {
 	}
 	tw.Flush()
 
+	// The trace loop drives Step directly (never pipe.Run), so the batched
+	// activity tally must be flushed before the meter is read.
+	pl.FlushTally()
 	report := meter.Analyze(power.DefaultParams())
 	fmt.Printf("\ntotals: IPC %.2f, miss %.1f%%, avg power %.1f W, wasted energy %.1f%%\n",
 		pl.Stats.IPC(), 100*pl.Stats.MissRate(), report.AvgPower,

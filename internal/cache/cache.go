@@ -34,7 +34,10 @@
 // never saturate. No simulation here approaches that horizon.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Cache is a set-associative cache with true-LRU replacement.
 type Cache struct {
@@ -311,8 +314,15 @@ type TLB struct {
 	prev   []int32  // recency list: towards MRU
 	head   int32    // most recently used slot, -1 when empty
 	tail   int32    // least recently used slot, -1 when empty
-	idx    map[uint64]int32
-	filled int // slots holding a valid page; invalid slots are [0, n-filled)
+	filled int      // slots holding a valid page; invalid slots are [0, n-filled)
+
+	// Open-addressed page → slot index (linear probing, backward-shift
+	// deletion, power-of-two table at ≤25% load). A probe is one
+	// multiplicative hash and usually a single array read, replacing the
+	// Go-map lookup that dominated the translation fast path.
+	keys   []uint64 // biased page tags; 0 = empty
+	vals   []int32  // slot for the corresponding key
+	hshift uint     // 64 - log2(len(keys))
 
 	// Stats.
 	Accesses uint64
@@ -324,21 +334,81 @@ func NewTLB(n int) *TLB {
 	if n < 1 {
 		n = 1
 	}
+	tab := 4
+	for tab < 4*n {
+		tab <<= 1
+	}
 	t := &TLB{
-		pages: make([]uint64, n),
-		next:  make([]int32, n),
-		prev:  make([]int32, n),
-		idx:   make(map[uint64]int32, n),
+		pages:  make([]uint64, n),
+		next:   make([]int32, n),
+		prev:   make([]int32, n),
+		keys:   make([]uint64, tab),
+		vals:   make([]int32, tab),
+		hshift: 64 - uint(bits.Len(uint(tab-1))),
 	}
 	t.head, t.tail = -1, -1
 	return t
+}
+
+// home returns the preferred probe-table bucket for a page tag.
+func (t *TLB) home(page uint64) uint32 {
+	return uint32((page * 0x9E3779B97F4A7C15) >> t.hshift)
+}
+
+// idxFind returns the TLB slot holding page, if indexed.
+func (t *TLB) idxFind(page uint64) (int32, bool) {
+	mask := uint32(len(t.keys) - 1)
+	for i := t.home(page); ; i = (i + 1) & mask {
+		switch t.keys[i] {
+		case page:
+			return t.vals[i], true
+		case 0:
+			return 0, false
+		}
+	}
+}
+
+// idxInsert records page → slot. The page must not already be indexed.
+func (t *TLB) idxInsert(page uint64, slot int32) {
+	mask := uint32(len(t.keys) - 1)
+	i := t.home(page)
+	for t.keys[i] != 0 {
+		i = (i + 1) & mask
+	}
+	t.keys[i], t.vals[i] = page, slot
+}
+
+// idxRemove unindexes page, compacting the probe chain by backward-shift
+// deletion (no tombstones): each following entry moves into the hole when
+// doing so does not skip past its home bucket.
+func (t *TLB) idxRemove(page uint64) {
+	mask := uint32(len(t.keys) - 1)
+	i := t.home(page)
+	for t.keys[i] != page {
+		i = (i + 1) & mask
+	}
+	j := i
+	for {
+		j = (j + 1) & mask
+		k := t.keys[j]
+		if k == 0 {
+			break
+		}
+		// k (home h) may fill the hole at i only when i lies within its
+		// probe path, i.e. the cyclic distance h→j covers i.
+		if h := t.home(k); (j-h)&mask >= (j-i)&mask {
+			t.keys[i], t.vals[i] = k, t.vals[j]
+			i = j
+		}
+	}
+	t.keys[i] = 0
 }
 
 // Access translates addr (4 KB pages), returning whether it hit.
 func (t *TLB) Access(addr uint64) bool {
 	t.Accesses++
 	page := addr>>12 | 1<<63 // bias so valid entries are never zero
-	if i, ok := t.idx[page]; ok {
+	if i, ok := t.idxFind(page); ok {
 		t.moveToFront(i)
 		return true
 	}
@@ -352,10 +422,10 @@ func (t *TLB) Access(addr uint64) bool {
 	} else {
 		slot = t.tail
 		t.unlink(slot)
-		delete(t.idx, t.pages[slot])
+		t.idxRemove(t.pages[slot])
 	}
 	t.pages[slot] = page
-	t.idx[page] = slot
+	t.idxInsert(page, slot)
 	t.pushFront(slot)
 	return false
 }
@@ -363,7 +433,7 @@ func (t *TLB) Access(addr uint64) bool {
 // Reset invalidates every entry and clears statistics without reallocating.
 func (t *TLB) Reset() {
 	clear(t.pages)
-	clear(t.idx)
+	clear(t.keys)
 	t.head, t.tail = -1, -1
 	t.filled = 0
 	t.Accesses, t.Misses = 0, 0

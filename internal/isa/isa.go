@@ -94,48 +94,46 @@ func (k FUKind) String() string {
 	}
 }
 
+// Per-op attribute tables. Sized 256 and indexed by the uint8 op value so
+// the hot-path accessors compile to a single bounds-check-free load; invalid
+// op values read the same defaults the historical switch statements
+// returned (int ALU, latency 1, non-control).
+var (
+	fuTab  [256]FUKind
+	latTab [256]int8
+	ctlTab [256]bool
+)
+
+func init() {
+	for i := range latTab {
+		latTab[i] = 1
+	}
+	fuTab[OpIntMult] = FUIntMult
+	fuTab[OpLoad] = FUMemPort
+	fuTab[OpStore] = FUMemPort
+	fuTab[OpFPAlu] = FUFPAlu
+	fuTab[OpFPMult] = FUFPMult
+	latTab[OpIntMult] = 3
+	latTab[OpFPAlu] = 2
+	latTab[OpFPMult] = 4
+	ctlTab[OpBranch] = true
+	ctlTab[OpJump] = true
+	ctlTab[OpCall] = true
+	ctlTab[OpReturn] = true
+}
+
 // FU returns the functional-unit class op executes on. Control-flow ops use
 // an integer ALU (branch condition evaluation), as in SimpleScalar.
-func (op Op) FU() FUKind {
-	switch op {
-	case OpIntMult:
-		return FUIntMult
-	case OpLoad, OpStore:
-		return FUMemPort
-	case OpFPAlu:
-		return FUFPAlu
-	case OpFPMult:
-		return FUFPMult
-	default:
-		return FUIntALU
-	}
-}
+func (op Op) FU() FUKind { return fuTab[op] }
 
 // Latency returns the base execution latency of op in cycles, before any
-// pipeline-depth adjustment and excluding cache access time for memory ops.
-func (op Op) Latency() int {
-	switch op {
-	case OpIntMult:
-		return 3
-	case OpFPAlu:
-		return 2
-	case OpFPMult:
-		return 4
-	case OpLoad, OpStore:
-		return 1 // address generation; cache access is added by the core
-	default:
-		return 1
-	}
-}
+// pipeline-depth adjustment and excluding cache access time for memory ops
+// (for loads and stores this is address generation; the core adds cache
+// access time).
+func (op Op) Latency() int { return int(latTab[op]) }
 
 // IsControl reports whether op redirects the instruction stream.
-func (op Op) IsControl() bool {
-	switch op {
-	case OpBranch, OpJump, OpCall, OpReturn:
-		return true
-	}
-	return false
-}
+func (op Op) IsControl() bool { return ctlTab[op] }
 
 // IsCondBranch reports whether op is a conditional branch (the only class
 // that consumes a direction prediction and a confidence estimate).

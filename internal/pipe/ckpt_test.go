@@ -1,0 +1,83 @@
+package pipe
+
+import (
+	"testing"
+
+	"selthrottle/internal/bpred"
+	"selthrottle/internal/conf"
+	"selthrottle/internal/core"
+	"selthrottle/internal/power"
+	"selthrottle/internal/prog"
+)
+
+// buildWithWalker constructs a pipeline and returns the walker so tests can
+// probe the checkpoint arena directly.
+func buildWithWalker(t *testing.T, bench string, cfg Config, policy core.Policy) (*Pipeline, *prog.Walker) {
+	t.Helper()
+	p, ok := prog.ProfileByName(bench)
+	if !ok {
+		t.Fatalf("unknown benchmark %q", bench)
+	}
+	w := prog.NewWalker(prog.Generate(p))
+	pl := New(cfg, w, bpred.NewGshare(8<<10), conf.NewBPRU(8<<10),
+		core.NewController(policy), &power.Meter{})
+	return pl, w
+}
+
+// TestCheckpointArenaLeakFree is the arena analog of the instruction-pool
+// tests: on the highest-misprediction profile the squash/recovery churn
+// turns over far more branches than the machine can hold in flight, so the
+// run stays within a bounded arena only if resolution, squash, and recovery
+// all return their leases. CheckInvariants additionally verifies the exact
+// lease accounting (walker leased count == in-flight unresolved branches) at
+// each probe point.
+func TestCheckpointArenaLeakFree(t *testing.T) {
+	pl, w := buildWithWalker(t, "go", Default(), core.Baseline())
+	st := pl.Run(30000)
+	if st.Mispredicts == 0 || st.WrongPathFetched == 0 {
+		t.Fatal("no recovery traffic; the leak check needs mispredictions")
+	}
+	if err := pl.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	_, capWarm, _ := w.CkptStats()
+	if capWarm > 2000 {
+		t.Fatalf("arena capacity %d implausibly large for a 128-entry window", capWarm)
+	}
+	pl.Run(90000)
+	leased, capAfter, hw := w.CkptStats()
+	if capAfter != capWarm {
+		t.Fatalf("arena kept growing after warmup: %d -> %d slots (leak)", capWarm, capAfter)
+	}
+	if leased > hw || hw > capAfter {
+		t.Fatalf("inconsistent arena stats: leased=%d highWater=%d capacity=%d", leased, hw, capAfter)
+	}
+	if err := pl.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointAccountingUnderOracleFetchAndThrottle repeats the lease
+// accounting check under the two regimes that stress the unusual release
+// paths: oracle fetch (branch holds fetch, resolves via the normal recovery
+// path) and an aggressive no-select policy (squashes of barrier carriers).
+func TestCheckpointAccountingUnderOracleFetchAndThrottle(t *testing.T) {
+	cfg := Default()
+	cfg.Oracle = core.OracleFetch
+	pl, _ := buildWithWalker(t, "go", cfg, core.Baseline())
+	if st := pl.Run(25000); st.OracleHolds == 0 {
+		t.Fatal("oracle fetch never held")
+	}
+	if err := pl.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	policy := core.Selective("t",
+		core.Spec{Fetch: core.RateQuarter, NoSelect: true},
+		core.Spec{Fetch: core.RateStall})
+	pl2, _ := buildWithWalker(t, "go", Default(), policy)
+	pl2.Run(25000)
+	if err := pl2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"selthrottle/internal/isa"
+	"selthrottle/internal/prog"
 )
 
 // CheckInvariants validates the core's internal consistency. It is called by
@@ -23,6 +24,10 @@ import (
 //     window's ready unissued instructions, and the store/barrier side
 //     lists cover every incomplete store and every unissued barrier
 //     carrier in the window.
+//  7. Checkpoint-lease accounting: every unresolved in-flight conditional
+//     branch holds exactly one arena lease, nothing else holds any, and the
+//     walker's leased count matches — i.e. resolution, squash, and recovery
+//     can never leak (or double-free) a checkpoint slot.
 func (p *Pipeline) CheckInvariants() error {
 	// 1 + 2: window order and LSQ accounting.
 	var prev uint64
@@ -114,8 +119,14 @@ func (p *Pipeline) CheckInvariants() error {
 			if slot := (p.window.head + i) % p.window.Cap(); int(in.wpos) != slot {
 				return fmt.Errorf("seq %d records slot %d, resides in slot %d", in.d.Seq, in.wpos, slot)
 			}
-			if !in.issued && in.ready() {
-				expect[in.wpos>>6] |= 1 << uint(in.wpos&63)
+			if !in.issued {
+				if ready := in.ready(); ready != (in.nwait == 0) {
+					return fmt.Errorf("seq %d: nwait %d disagrees with pointer-chased readiness %v",
+						in.d.Seq, in.nwait, ready)
+				}
+				if in.ready() {
+					expect[in.wpos>>6] |= 1 << uint(in.wpos&63)
+				}
 			}
 			if in.d.St.Op == isa.OpStore && !in.done && !stores[in.d.Seq] {
 				return fmt.Errorf("incomplete store seq %d missing from storeQ", in.d.Seq)
@@ -129,6 +140,48 @@ func (p *Pipeline) CheckInvariants() error {
 				return fmt.Errorf("ready bitmap word %d is %#x, window implies %#x", w, p.readyMask[w], expect[w])
 			}
 		}
+	}
+
+	// 7: checkpoint-lease accounting. Branches resolve exactly at
+	// completion, so an in-flight branch must hold a lease iff it is not
+	// done; squashed wheel residue must hold none (squash released it).
+	leases := 0
+	countLeases := func(name string, q *ring[*inst]) error {
+		for i := 0; i < q.Len(); i++ {
+			in := q.At(i)
+			isBranch := in.d.St.Op == isa.OpBranch
+			switch {
+			case isBranch && !in.done && in.d.Ckpt == prog.NoCkpt:
+				return fmt.Errorf("%s: unresolved branch seq %d lost its checkpoint lease", name, in.d.Seq)
+			case isBranch && in.done && in.d.Ckpt != prog.NoCkpt:
+				return fmt.Errorf("%s: resolved branch seq %d still holds checkpoint %d", name, in.d.Seq, in.d.Ckpt)
+			case !isBranch && in.d.Ckpt != prog.NoCkpt:
+				return fmt.Errorf("%s: non-branch seq %d holds checkpoint %d", name, in.d.Seq, in.d.Ckpt)
+			}
+			if in.d.Ckpt != prog.NoCkpt {
+				leases++
+			}
+		}
+		return nil
+	}
+	if err := countLeases("fetchQ", p.fetchQ); err != nil {
+		return err
+	}
+	if err := countLeases("decodeQ", p.decodeQ); err != nil {
+		return err
+	}
+	if err := countLeases("window", p.window); err != nil {
+		return err
+	}
+	for slot := range p.compQ {
+		for _, in := range p.compQ[slot] {
+			if in.squashed && in.d.Ckpt != prog.NoCkpt {
+				return fmt.Errorf("wheel slot %d: squashed seq %d still holds checkpoint %d", slot, in.d.Seq, in.d.Ckpt)
+			}
+		}
+	}
+	if leased, _, _ := p.walker.CkptStats(); leased != leases {
+		return fmt.Errorf("walker reports %d leased checkpoints, pipeline holds %d", leased, leases)
 	}
 	return nil
 }

@@ -45,6 +45,20 @@
 //     NoSelectStalls statistic) are kept in age order, appended at dispatch,
 //     truncated on flush, and lazily compacted; entries are seq-validated
 //     like deps.
+//
+// # Instruction record and checkpoint leases
+//
+// The in-flight instruction record embeds a one-cache-line prog.DynInst;
+// walker recovery state is NOT embedded. A conditional branch carries an
+// int32 lease on the walker's checkpoint arena (prog.Walker), and the
+// pipeline is responsible for the lease's life cycle: resolve releases it on
+// a correct prediction, walker.Recover consumes it on a misprediction, and
+// squash releases it for every killed branch. CheckInvariants verifies the
+// exact lease accounting (every unresolved in-flight branch holds one, and
+// nothing else holds any), and the pool tests' arena analog pins the
+// footprint. Recycled instructions are reset field-selectively (see
+// allocInst) so the pool's steady state writes a few words per instruction
+// instead of the whole record.
 package pipe
 
 import (
@@ -182,6 +196,15 @@ type inst struct {
 	// the ready bitmap.
 	wpos int32
 
+	// nwait counts bound producers that have not completed yet (event-driven
+	// issue only). Dispatch sets it to the number of bound sources; each
+	// producer completion decrements it exactly once (a bound producer is
+	// always incomplete, so it either completes — firing the wakeup — or is
+	// squashed together with this younger dependent). Zero means ready,
+	// which CheckInvariants cross-validates against the pointer-chasing
+	// ready() below.
+	nwait uint8
+
 	// deps lists the window-resident consumers waiting on this
 	// instruction's result; completion walks it to wake newly-ready
 	// dependents. The backing array survives pool recycling.
@@ -196,7 +219,10 @@ type inst struct {
 	issueCycle  int64 // diagnostics: when issued
 
 	// Per-unit activity attribution (moved to the wasted pool on squash).
-	ev [power.NumUnits]uint8
+	// evMask flags the units with nonzero counts so squash walks only the
+	// handful of touched units instead of the whole table.
+	ev     [power.NumUnits]uint8
+	evMask uint16
 }
 
 // instRef is a pool-safe reference to a dynamic instruction: the pointer is
@@ -316,9 +342,12 @@ type Pipeline struct {
 	poolAllocs uint64
 	poolReused uint64
 
-	// tally batches the cycle's per-unit activity events; Step flushes it
-	// into the meter once per cycle (power.Meter.AddTally).
-	tally [power.NumUnits]uint32
+	// tally accumulates per-unit activity events across cycles; Run (and
+	// FlushTally) folds it into the meter. Counts are integers, so the
+	// deferred flush is bit-identical to a per-cycle flush (see
+	// power.Meter.AddTally) while keeping the per-cycle cost to plain
+	// integer increments.
+	tally [power.NumUnits]uint64
 
 	// CommitTrace, when set, is invoked for every committed instruction
 	// (diagnostics and tests).
@@ -413,7 +442,7 @@ func (p *Pipeline) Reset(w *prog.Walker, pred bpred.DirPredictor, est conf.Estim
 	clear(p.readyMask)
 	p.storeQ = p.storeQ[:0]
 	p.barrierQ = p.barrierQ[:0]
-	p.tally = [power.NumUnits]uint32{}
+	p.tally = [power.NumUnits]uint64{}
 	p.flushCount = 0
 	p.Stats = Stats{}
 }
@@ -422,13 +451,24 @@ func (p *Pipeline) Reset(w *prog.Walker, pred bpred.DirPredictor, est conf.Estim
 // heap. Steady-state fetch never allocates: the pool is replenished by
 // commit and squash. The deps backing array is kept across recycling so the
 // wakeup lists stop allocating once they reach their high-water capacities.
+//
+// Recycling resets only the fields a reader could see before a writer: the
+// lifecycle flags, the source bindings (dispatch binds at most two and the
+// rest must read as nil), the barrier flag (dispatch writes both arms), and
+// the activity counters. Everything else is written before it is read on
+// every path — d by Next, prediction state by fetchCondBranch for every
+// branch (the only readers), enter/timing fields by their stages — so a full
+// struct zero (several cache lines per instruction) buys nothing.
 func (p *Pipeline) allocInst() *inst {
 	if n := len(p.free) - 1; n >= 0 {
 		in := p.free[n]
 		p.free = p.free[:n]
-		deps := in.deps[:0]
-		*in = inst{}
-		in.deps = deps
+		in.deps = in.deps[:0]
+		in.srcs[0], in.srcs[1] = nil, nil
+		in.issued, in.done, in.squashed = false, false, false
+		in.hasBarrier = false
+		in.ev = [power.NumUnits]uint8{}
+		in.evMask = 0
 		p.poolReused++
 		return in
 	}
@@ -481,7 +521,15 @@ func (p *Pipeline) Run(n uint64) *Stats {
 			lastCommit = p.Stats.Committed
 		}
 	}
+	p.FlushTally()
 	return &p.Stats
+}
+
+// FlushTally folds the accumulated activity tally into the meter. Run calls
+// it before returning; callers driving Step directly must call it before
+// reading the meter.
+func (p *Pipeline) FlushTally() {
+	p.meter.AddTally(&p.tally)
 }
 
 // Step advances the machine one cycle. Stages run back to front so that
@@ -494,7 +542,6 @@ func (p *Pipeline) Step() {
 	p.decode()
 	p.fetch()
 	p.cycle++
-	p.meter.AddTally(&p.tally)
 	p.meter.AddCycle()
 	p.Stats.Cycles++
 }
@@ -503,6 +550,7 @@ func (p *Pipeline) Step() {
 // the per-cycle tally and reach the meter in one flush per Step.
 func (p *Pipeline) note(in *inst, u power.Unit) {
 	p.tally[u]++
+	in.evMask |= 1 << uint(u)
 	if in.ev[u] < 255 {
 		in.ev[u]++
 	}
@@ -634,7 +682,8 @@ func (p *Pipeline) btbTouch(pc, target uint64) {
 // --------------------------------------------------------------- decode --
 
 func (p *Pipeline) decode() {
-	for n := 0; n < p.cfg.DecodeWidth && p.fetchQ.Len() > 0; n++ {
+	width := p.cfg.DecodeWidth
+	for n := 0; n < width && p.fetchQ.Len() > 0; n++ {
 		in := p.fetchQ.At(0)
 		if in.enterDecode > p.cycle || p.decodeQ.Full() {
 			return
@@ -656,10 +705,11 @@ func (p *Pipeline) decode() {
 		// instructions squashed after decoding carry this wasted energy.
 		p.note(in, power.UnitRename)
 		p.note(in, power.UnitWindow)
-		for _, r := range [2]int8{in.d.St.Src1, in.d.St.Src2} {
-			if r != isa.RegNone {
-				p.note(in, power.UnitRegfile)
-			}
+		if in.d.St.Src1 != isa.RegNone {
+			p.note(in, power.UnitRegfile)
+		}
+		if in.d.St.Src2 != isa.RegNone {
+			p.note(in, power.UnitRegfile)
 		}
 		if in.isMem() {
 			p.note(in, power.UnitLSQ)
@@ -674,7 +724,8 @@ func (p *Pipeline) decode() {
 // ------------------------------------------------------------- dispatch --
 
 func (p *Pipeline) dispatch() {
-	for n := 0; n < p.cfg.IssueWidth && p.decodeQ.Len() > 0; n++ {
+	width := p.cfg.IssueWidth
+	for n := 0; n < width && p.decodeQ.Len() > 0; n++ {
 		in := p.decodeQ.At(0)
 		if in.enterWindow > p.cycle || p.window.Full() {
 			return
@@ -689,15 +740,22 @@ func (p *Pipeline) dispatch() {
 		// producer is by construction incomplete, so registering on its
 		// wakeup list guarantees exactly one completion (or a shared
 		// squash) per bound operand.
-		si := 0
-		for _, r := range [2]int8{in.d.St.Src1, in.d.St.Src2} {
-			if r == isa.RegNone {
-				continue
-			}
+		nsrc := 0
+		if r := in.d.St.Src1; r != isa.RegNone {
 			if prod := p.regs[r]; prod != nil && !prod.done {
-				in.srcs[si] = prod
-				in.srcSeq[si] = prod.d.Seq
-				si++
+				in.srcs[0] = prod
+				in.srcSeq[0] = prod.d.Seq
+				nsrc = 1
+				if p.eventIssue {
+					prod.deps = append(prod.deps, instRef{in, in.d.Seq})
+				}
+			}
+		}
+		if r := in.d.St.Src2; r != isa.RegNone {
+			if prod := p.regs[r]; prod != nil && !prod.done {
+				in.srcs[nsrc] = prod
+				in.srcSeq[nsrc] = prod.d.Seq
+				nsrc++
 				if p.eventIssue {
 					prod.deps = append(prod.deps, instRef{in, in.d.Seq})
 				}
@@ -716,13 +774,17 @@ func (p *Pipeline) dispatch() {
 		if b, ok := p.ctrl.BarrierFor(in.d.Seq); ok {
 			in.barrier = b
 			in.hasBarrier = true
+		} else {
+			in.hasBarrier = false
 		}
 		in.wpos = int32(p.window.backSlot())
 		if p.eventIssue {
-			// The slot's previous occupant left its bit clear, but write
-			// both ways so dispatch re-establishes the bitmap invariant
-			// unconditionally.
-			if in.ready() {
+			// Binding only captures incomplete producers, so readiness at
+			// dispatch is exactly "nothing was bound". The slot's previous
+			// occupant left its bit clear, but write both ways so dispatch
+			// re-establishes the bitmap invariant unconditionally.
+			in.nwait = uint8(nsrc)
+			if nsrc == 0 {
 				p.setReady(in)
 			} else {
 				p.clearReady(in)
@@ -1010,17 +1072,19 @@ func (p *Pipeline) complete() {
 // wakeDependents flags every registered consumer whose operands became
 // available with this completion. Rename only registers incomplete
 // producers, so the list is final by the time completion fires; entries are
-// validated by sequence number against pool recycling, and readiness is
-// re-derived from inst.ready so an instruction waiting on two producers is
-// woken only by the later completion. The list is cleared afterwards — a
-// completed producer can never be bound again.
+// validated by sequence number against pool recycling, and each decrements
+// the dependent's outstanding-producer count so an instruction waiting on
+// two producers is woken only by the later completion (an operand bound
+// twice to one producer registered two entries and takes two decrements).
+// The list is cleared afterwards — a completed producer can never be bound
+// again.
 func (p *Pipeline) wakeDependents(in *inst) {
 	for _, e := range in.deps {
 		d := e.in
 		if d.d.Seq != e.seq || d.squashed || d.issued {
 			continue
 		}
-		if d.ready() {
+		if d.nwait--; d.nwait == 0 {
 			p.setReady(d)
 		}
 	}
@@ -1028,9 +1092,12 @@ func (p *Pipeline) wakeDependents(in *inst) {
 }
 
 // resolve handles conditional-branch resolution: trigger release on a
-// correct prediction, flush and recovery on a misprediction.
+// correct prediction, flush and recovery on a misprediction. Either way the
+// branch's recovery checkpoint is done: a correctly predicted branch frees
+// its arena lease here; a mispredicted one frees it inside walker.Recover.
 func (p *Pipeline) resolve(in *inst) {
 	if in.predTaken == in.d.Taken {
+		p.walker.Release(&in.d)
 		p.ctrl.OnBranchResolved(in.d.Seq)
 		return
 	}
@@ -1079,9 +1146,7 @@ func (p *Pipeline) flushAfter(br *inst) {
 	}
 
 	// Rebuild the rename table from the surviving window contents.
-	for r := range p.regs {
-		p.regs[r] = nil
-	}
+	clear(p.regs[:])
 	for i := 0; i < p.window.Len(); i++ {
 		w := p.window.At(i)
 		if d := w.d.St.Dest; d != isa.RegNone {
@@ -1128,13 +1193,15 @@ func (p *Pipeline) squash(in *inst) {
 		return
 	}
 	in.squashed = true
+	// A squashed branch will never resolve; return its checkpoint lease to
+	// the walker's arena (no-op for non-branches and resolved branches).
+	p.walker.Release(&in.d)
 	if p.fetchHeld && in.d.Seq == p.fetchHeldBySeq {
 		p.fetchHeld = false // defensive: never leave fetch held by a dead branch
 	}
-	for u := power.Unit(0); u < power.NumUnits; u++ {
-		if in.ev[u] > 0 {
-			p.meter.AddWasted(u, float64(in.ev[u]))
-		}
+	for m := in.evMask; m != 0; m &= m - 1 {
+		u := power.Unit(bits.TrailingZeros16(m))
+		p.meter.AddWasted(u, float64(in.ev[u]))
 	}
 	if !in.issued || in.done {
 		p.freeInst(in)
@@ -1144,7 +1211,8 @@ func (p *Pipeline) squash(in *inst) {
 // --------------------------------------------------------------- commit --
 
 func (p *Pipeline) commit() {
-	for n := 0; n < p.cfg.CommitWidth && p.window.Len() > 0; n++ {
+	width := p.cfg.CommitWidth
+	for n := 0; n < width && p.window.Len() > 0; n++ {
 		in := p.window.At(0)
 		if !in.done {
 			return

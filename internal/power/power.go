@@ -170,10 +170,12 @@ func (m *Meter) AddCycle() { m.Cycles++ }
 // Add records n activity events on unit u.
 func (m *Meter) Add(u Unit, n float64) { m.Events[u] += n }
 
-// AddTally folds a per-cycle event tally into the totals and clears it.
-// Counts are integers, so the float accumulation is exact and the result is
-// bit-identical to per-event Add calls in any order.
-func (m *Meter) AddTally(tally *[NumUnits]uint32) {
+// AddTally folds an accumulated event tally into the totals and clears it.
+// Counts are integers (exactly representable in float64 far beyond any
+// simulation horizon), so the float accumulation is exact and the result is
+// bit-identical to per-event Add calls in any order and at any batching
+// granularity — per cycle, per run, or anywhere between.
+func (m *Meter) AddTally(tally *[NumUnits]uint64) {
 	for u, n := range tally {
 		if n != 0 {
 			m.Events[u] += float64(n)

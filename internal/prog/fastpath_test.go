@@ -1,0 +1,208 @@
+package prog
+
+import (
+	"testing"
+	"unsafe"
+
+	"selthrottle/internal/xrand"
+)
+
+// TestDynInstLayoutCompact pins the dynamic-instruction record to at most
+// two cache lines. The pipeline copies DynInst through the instruction pool,
+// the completion wheel, and the recovery paths on every instruction, so the
+// checkpoint indirection's whole point is keeping this small.
+func TestDynInstLayoutCompact(t *testing.T) {
+	if s := unsafe.Sizeof(DynInst{}); s > 128 {
+		t.Fatalf("DynInst is %d bytes, must stay within 128 (two cache lines)", s)
+	}
+}
+
+// TestThr24Exactness exercises the integer-threshold construction at and
+// around its decision boundary: for representative probabilities, the
+// integer compare x < thr24(p) must agree with the float compare
+// float64(x)/2^24 < p for the 24-bit values nearest the threshold (and the
+// range extremes).
+func TestThr24Exactness(t *testing.T) {
+	probs := []float64{0, 1e-12, 1.0 / 3, 0.25, 0.3333333333333333, 0.5,
+		0.7499999999999999, 0.75, 0.95, 0.9999999, 1}
+	for _, p := range probs {
+		thr := thr24(p)
+		xs := []uint32{0, 1, 1<<24 - 2, 1<<24 - 1}
+		for d := uint32(0); d <= 2; d++ {
+			if thr >= d {
+				xs = append(xs, thr-d)
+			}
+			if uint32(int64(thr)+int64(d)) < 1<<24 {
+				xs = append(xs, thr+d)
+			}
+		}
+		for _, x := range xs {
+			want := float64(x)/float64(1<<24) < p
+			got := x < thr
+			if got != want {
+				t.Fatalf("p=%v x=%d: integer compare %v, float compare %v", p, x, got, want)
+			}
+		}
+	}
+}
+
+// TestIntegerOutcomeMatchesFloat drives the integer-threshold outcome and
+// the float reference over every generated branch of every profile with
+// randomized histories: the two must agree on every single call.
+func TestIntegerOutcomeMatchesFloat(t *testing.T) {
+	for _, p := range Profiles() {
+		program := Generate(p)
+		rng := xrand.New(p.Seed ^ 0xFEED)
+		for bi := range program.Branches {
+			br := &program.Branches[bi]
+			for k := 0; k < 64; k++ {
+				g, c := rng.Uint64(), rng.Uint64()>>40
+				if got, want := br.outcome(g, c), Outcome(br, g, c); got != want {
+					t.Fatalf("%s branch %d: integer outcome %v, float outcome %v (ghist=%#x brc=%d)",
+						p.Name, bi, got, want, g, c)
+				}
+			}
+		}
+	}
+}
+
+// TestFastWalkerMatchesLegacy is the randomized end-to-end identity test of
+// the walker fast path: both walkers are driven with the same (sometimes
+// wrong) steering decisions, the same wrong-path excursions, and the same
+// checkpoint recoveries, and every produced DynInst must be identical field
+// for field — including the checkpoint handles, since both walkers lease and
+// release in the same order. Afterwards the checkpoint arenas must be fully
+// drained (the leak check at walker level).
+func TestFastWalkerMatchesLegacy(t *testing.T) {
+	for _, p := range Profiles() {
+		program := Generate(p)
+		fast := NewWalker(program)
+		legacy := NewWalker(program)
+		legacy.SetLegacy(true)
+		rng := xrand.New(0xF00D ^ p.Seed)
+		var df, dl DynInst
+		step := func(where string, i int) {
+			fast.Next(&df)
+			legacy.Next(&dl)
+			if df != dl {
+				t.Fatalf("%s: %s stream diverged at %d:\n fast:   %+v\n legacy: %+v",
+					p.Name, where, i, df, dl)
+			}
+			if np := fast.NextPC(); np != legacy.NextPC() {
+				t.Fatalf("%s: NextPC diverged at %d", p.Name, i)
+			}
+		}
+		for i := 0; i < 12000; i++ {
+			step("correct-path", i)
+			if df.BrID == NoBranch {
+				continue
+			}
+			pred := df.Taken
+			if rng.Bool(0.2) {
+				pred = !pred
+			}
+			fast.Steer(pred)
+			legacy.Steer(pred)
+			if pred == df.Taken {
+				fast.Release(&df)
+				legacy.Release(&dl)
+				continue
+			}
+			// Wrong path: walk a bounded excursion, then recover both from
+			// the mispredicted branch's checkpoint.
+			brF, brL := df, dl
+			for k := rng.Intn(30); k > 0; k-- {
+				step("wrong-path", i)
+				if df.BrID != NoBranch {
+					fast.Steer(df.Taken)
+					legacy.Steer(dl.Taken)
+					fast.Release(&df)
+					legacy.Release(&dl)
+				}
+			}
+			fast.Recover(&brF)
+			legacy.Recover(&brL)
+		}
+		for _, w := range []struct {
+			name string
+			w    *Walker
+		}{{"fast", fast}, {"legacy", legacy}} {
+			leased, capacity, hw := w.w.CkptStats()
+			if leased != 0 {
+				t.Errorf("%s/%s: %d checkpoint leases leaked", p.Name, w.name, leased)
+			}
+			if hw > 4 {
+				t.Errorf("%s/%s: checkpoint high-water %d, at most 2 branches are ever outstanding here", p.Name, w.name, hw)
+			}
+			if capacity > hw {
+				t.Errorf("%s/%s: arena capacity %d exceeds high-water %d", p.Name, w.name, capacity, hw)
+			}
+		}
+	}
+}
+
+// TestWalkerResetReusesArena checks that Reset keeps the arena backing and
+// the legacy flag while rewinding the lease state.
+func TestWalkerResetReusesArena(t *testing.T) {
+	p, _ := ProfileByName("go")
+	program := Generate(p)
+	w := NewWalker(program)
+	w.SetLegacy(true)
+	var d DynInst
+	for i := 0; i < 1000; i++ {
+		w.Next(&d)
+		if d.BrID != NoBranch {
+			w.Steer(d.Taken) // leases intentionally left outstanding
+		}
+	}
+	leased, _, _ := w.CkptStats()
+	if leased == 0 {
+		t.Fatal("no leases outstanding before reset")
+	}
+	w.Reset(program)
+	if leased, _, _ := w.CkptStats(); leased != 0 {
+		t.Fatalf("%d leases survived Reset", leased)
+	}
+	// The legacy flag must survive (the runner re-applies it anyway, but
+	// Reset alone must not silently switch implementations mid-pool).
+	w.Next(&d)
+	if !w.legacy {
+		t.Fatal("legacy flag lost across Reset")
+	}
+}
+
+// TestCallStackRingMatchesShiftReference drives the O(1) head-index ring
+// against a plain slice reference implementing the historical
+// shift-on-overflow semantics: push drops the oldest frame when full, pop
+// returns the newest.
+func TestCallStackRingMatchesShiftReference(t *testing.T) {
+	var s WalkState
+	var ref []int32
+	rng := xrand.New(42)
+	for i := 0; i < 50000; i++ {
+		if rng.Bool(0.55) {
+			v := rng.Intn(1 << 20)
+			s.push(v)
+			if len(ref) == CallStackDepth {
+				ref = ref[1:]
+			}
+			ref = append(ref, int32(v))
+		} else {
+			got, ok := s.pop()
+			wantOk := len(ref) > 0
+			if ok != wantOk {
+				t.Fatalf("step %d: pop ok=%v, reference ok=%v", i, ok, wantOk)
+			}
+			if ok {
+				want := ref[len(ref)-1]
+				ref = ref[:len(ref)-1]
+				if int32(got) != want {
+					t.Fatalf("step %d: pop %d, reference %d", i, got, want)
+				}
+			}
+		}
+		if s.Depth() != len(ref) {
+			t.Fatalf("step %d: depth %d, reference %d", i, s.Depth(), len(ref))
+		}
+	}
+}

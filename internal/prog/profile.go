@@ -22,6 +22,31 @@
 // This gives predictors a genuine learning task (bigger tables help, as in
 // the paper's Figure 7) while keeping the walker state tiny, so misprediction
 // recovery can restore an exact checkpoint.
+//
+// # Hot-path layout
+//
+// The walker is the single hottest function of the simulator's cycle loop,
+// so its data structures are laid out for the fetch path:
+//
+//   - DynInst is one cache line (≤128 bytes pinned by tests). Recovery
+//     checkpoints do not live in the instruction record: conditional
+//     branches lease a slot in the walker's pooled checkpoint arena and
+//     carry only the int32 handle (DynInst.Ckpt). The lease returns on
+//     Recover, on correct resolution, or on squash (Walker.Release);
+//     CkptStats probes the arena for leak tests.
+//   - Branch outcome probabilities are precomputed as 2^24-scaled integer
+//     thresholds at Program build time, turning the outcome computation
+//     into two hashes plus integer compares. The scaling is exact in
+//     IEEE 754 (powers of two only shift the exponent), so the integer
+//     form decides precisely the same outcomes as the float reference —
+//     see the threshold fields on Branch for the full argument.
+//   - Per-block data the walker needs every instruction (successor base
+//     PCs, terminator class, flat code/memory-ref tables) is precomputed
+//     into blockMeta so Next reads flat arrays instead of chasing Block
+//     structures and a (block, index) map.
+//
+// The original implementation survives behind Walker.SetLegacy as the
+// reference the identity tests drive against the fast path.
 package prog
 
 // Profile describes one synthetic benchmark: the generation parameters plus

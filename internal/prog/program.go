@@ -2,6 +2,7 @@ package prog
 
 import (
 	"fmt"
+	"math"
 
 	"selthrottle/internal/isa"
 	"selthrottle/internal/xrand"
@@ -58,6 +59,47 @@ type Branch struct {
 	Bias     float64 // taken-probability of the unlearnable component
 	LoopBack bool    // true for loop back-edges (mostly-taken by design)
 	TripInv  float64 // loop back-edges: per-context learnable exit probability
+
+	// Integer outcome thresholds, derived from the float parameters by
+	// finalize (called once at Program build time). Each probability p is
+	// turned into the 2^24-scaled threshold ceil(p * 2^24), which makes the
+	// hot-path comparison a pure integer compare yet provably identical to
+	// the float form: for a 24-bit integer x, "float64(x)/2^24 < p" divides
+	// by an exact power of two (lossless in IEEE 754), so it is equivalent
+	// to the real inequality x < p*2^24 — and p*2^24 is itself computed
+	// exactly (scaling a float64 by 2^24 only shifts its exponent). For an
+	// integer x and real t, x < t iff x < ceil(t), so the integer compare
+	// "x < ceil(p*2^24)" decides exactly the same outcomes. The identity
+	// tests drive both forms over every generated branch to pin this.
+	noiseThr   uint32 // ceil(NoiseP  * 2^24)
+	biasThr    uint32 // ceil(Bias    * 2^24)
+	tripThr    uint32 // ceil(TripInv * 2^24)
+	detBiasThr uint32 // ceil(DetBias * 2^24)
+	histMask   uint64 // 1<<DetBits - 1
+}
+
+// thr24 converts a probability into its exact 2^24-scaled integer threshold
+// (see the Branch field docs for the exactness argument).
+func thr24(p float64) uint32 {
+	t := math.Ceil(p * (1 << 24))
+	if t < 0 {
+		return 0
+	}
+	if t > 1<<24 {
+		return 1 << 24
+	}
+	return uint32(t)
+}
+
+// finalize derives the integer outcome thresholds from the float parameters.
+// Generate calls it for every branch; hand-built Branch values (tests) that
+// go through the fast outcome path must call it too.
+func (br *Branch) finalize() {
+	br.noiseThr = thr24(br.NoiseP)
+	br.biasThr = thr24(br.Bias)
+	br.tripThr = thr24(br.TripInv)
+	br.detBiasThr = thr24(br.DetBias)
+	br.histMask = uint64(1)<<uint(br.DetBits) - 1
 }
 
 // MemRef holds the address-generation parameters of one static memory
@@ -74,6 +116,21 @@ type MemRef struct {
 	// so their lines are usually resident; wild references are where cache
 	// misses — and wrong-path pollution — come from.
 	Wild bool
+
+	// spanMask is Span-1 when Span is a power of two (every built-in
+	// profile region is), letting the walker's address fold use a mask
+	// instead of a 64-bit division; 0 disables the fast path. Derived by
+	// finalize.
+	spanMask uint64
+}
+
+// fold reduces a hash to an 8-byte-aligned offset within the span — the
+// hot-path equivalent of h % Span &^ 7.
+func (m *MemRef) fold(h uint64) uint64 {
+	if m.spanMask != 0 {
+		return h & m.spanMask &^ 7
+	}
+	return h % m.Span &^ 7
 }
 
 // Program is a generated synthetic program: a CFG over basic blocks plus the
@@ -93,6 +150,83 @@ type Program struct {
 
 	// CodeBytes is the static code footprint (for reports).
 	CodeBytes uint64
+
+	// Fast-path tables, derived once by finalize at the end of Generate so
+	// the walker's per-instruction work is flat-array reads instead of
+	// block-pointer chasing and map lookups. meta mirrors Blocks; code and
+	// memIDs are the concatenation of every block's instructions (indexed
+	// by meta.off + instruction index), with memIDs[i] the MemRefs index of
+	// instruction i or NoMem.
+	meta   []blockMeta
+	code   []isa.Static
+	memIDs []int32
+}
+
+// NoMem marks a non-memory instruction in Program.memIDs.
+const NoMem = -1
+
+// blockMeta is the walker's per-block fast-path record: everything Next
+// needs about a block — successor bases, terminator class, flat-table offset
+// — precomputed so the hot loop touches no map and no second Block.
+type blockMeta struct {
+	base      uint64 // PC of the block's first instruction
+	fallBase  uint64 // base PC of Succ[0] (0 when NoBlock)
+	takenBase uint64 // base PC of Succ[1] (0 when NoBlock)
+	off       int32  // offset of the block's instructions in code/memIDs
+	n         int32  // number of instructions in the block
+	succ0     int32  // fall-through / not-taken successor (NoBlock = none)
+	succ1     int32  // taken target / callee entry (NoBlock = none)
+	brID      int32  // Branches index for conditional terminators, else NoBranch
+	term      isa.Op // terminator class (OpNop for plain fall-through)
+}
+
+// finalize builds the derived fast-path tables: the per-branch integer
+// thresholds and the flat block/instruction metadata. Generate calls it after
+// validation; the tables are read-only afterwards.
+func (p *Program) finalize() {
+	for i := range p.Branches {
+		p.Branches[i].finalize()
+	}
+	for i := range p.MemRefs {
+		m := &p.MemRefs[i]
+		if m.Span > 0 && m.Span&(m.Span-1) == 0 {
+			m.spanMask = m.Span - 1
+		}
+	}
+	total := 0
+	for i := range p.Blocks {
+		total += len(p.Blocks[i].Code)
+	}
+	p.code = make([]isa.Static, 0, total)
+	p.memIDs = make([]int32, 0, total)
+	p.meta = make([]blockMeta, len(p.Blocks))
+	for i := range p.Blocks {
+		b := &p.Blocks[i]
+		m := &p.meta[i]
+		*m = blockMeta{
+			base:  b.Base,
+			off:   int32(len(p.code)),
+			n:     int32(len(b.Code)),
+			succ0: int32(b.Succ[0]),
+			succ1: int32(b.Succ[1]),
+			brID:  int32(b.BrID),
+			term:  b.Terminator(),
+		}
+		if b.Succ[0] != NoBlock {
+			m.fallBase = p.Blocks[b.Succ[0]].Base
+		}
+		if b.Succ[1] != NoBlock {
+			m.takenBase = p.Blocks[b.Succ[1]].Base
+		}
+		p.code = append(p.code, b.Code...)
+		for j := range b.Code {
+			id := int32(NoMem)
+			if mid, ok := p.memIndex[memKey{i, j}]; ok {
+				id = int32(mid)
+			}
+			p.memIDs = append(p.memIDs, id)
+		}
+	}
 }
 
 type memKey struct {
@@ -215,6 +349,7 @@ func Generate(prof Profile) *Program {
 	if err := b.p.Validate(); err != nil {
 		panic("prog: generator produced invalid program: " + err.Error())
 	}
+	b.p.finalize()
 	return b.p
 }
 

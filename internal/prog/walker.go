@@ -14,7 +14,10 @@ const CallStackDepth = 64
 // WalkState is the complete architectural position of a walker: the block
 // cursor, the global branch-outcome history, and the call stack. It is a
 // value type so it can be checkpointed per conditional branch and restored
-// exactly on misprediction recovery.
+// exactly on misprediction recovery. Checkpoints live in the walker's pooled
+// arena (see Walker), not inside DynInst: a WalkState is ~290 bytes, almost
+// all of it the call-stack ring, and embedding it would put every dynamic
+// instruction's record at several cache lines.
 type WalkState struct {
 	Block   int    // current block index
 	Index   int    // next instruction within the block
@@ -22,16 +25,27 @@ type WalkState struct {
 	BrCount uint64 // conditional branches executed (time base for noise)
 
 	stack [CallStackDepth]int32
-	sp    int // number of valid frames
+	head  int32 // ring start: index of the oldest valid frame
+	sp    int32 // number of valid frames
 }
 
-// push adds a return-site block to the call stack (ring on overflow).
+// push adds a return-site block to the call stack. When the ring is full the
+// oldest frame is overwritten in place — O(1), where the historical
+// representation shifted the whole array down on every overflowing push.
 func (s *WalkState) push(block int) {
 	if s.sp == CallStackDepth {
-		copy(s.stack[:], s.stack[1:])
-		s.sp--
+		s.stack[s.head] = int32(block)
+		s.head++
+		if s.head == CallStackDepth {
+			s.head = 0
+		}
+		return
 	}
-	s.stack[s.sp] = int32(block)
+	i := s.head + s.sp
+	if i >= CallStackDepth {
+		i -= CallStackDepth
+	}
+	s.stack[i] = int32(block)
 	s.sp++
 }
 
@@ -41,38 +55,71 @@ func (s *WalkState) pop() (int, bool) {
 		return 0, false
 	}
 	s.sp--
-	return int(s.stack[s.sp]), true
+	i := s.head + s.sp
+	if i >= CallStackDepth {
+		i -= CallStackDepth
+	}
+	return int(s.stack[i]), true
 }
 
 // Depth returns the current call-stack depth (used by tests).
-func (s *WalkState) Depth() int { return s.sp }
+func (s *WalkState) Depth() int { return int(s.sp) }
+
+// NoCkpt marks a DynInst that holds no checkpoint lease (every instruction
+// except an unresolved conditional branch).
+const NoCkpt = -1
 
 // DynInst is one dynamic instruction produced by a walker. It carries
 // everything the pipeline needs: the static instruction, its PC, the actual
-// branch outcome / memory address, and (for conditional branches) a recovery
-// checkpoint of the walker taken *before* steering.
+// branch outcome / memory address, and (for conditional branches) a handle to
+// a recovery checkpoint in the walker's arena. The struct is kept within two
+// cache lines (the layout tests pin <= 128 bytes) because the pipeline copies
+// it through the instruction pool, the completion wheel, and the recovery
+// paths on every dynamic instruction.
+//
+// Field contract: Next always writes Seq, PC, St, BrID, and Ckpt. The
+// remaining fields are defined only for the op classes that use them —
+// Taken/TakenPC for control transfers, FallPC for branches and calls, Addr
+// for memory ops, WrongPath by the pipeline at fetch — and hold stale values
+// otherwise. Readers must gate on St.Op (the pipeline does throughout);
+// skipping the dead stores keeps the per-instruction write half the size.
 type DynInst struct {
-	Seq  uint64
-	PC   uint64
+	Seq     uint64
+	PC      uint64
+	TakenPC uint64 // PC of the taken target (branch/jump/call)
+	FallPC  uint64 // PC of the fall-through successor
+	Addr    uint64 // effective address (memory ops)
+
 	St   isa.Static
-	BrID int // Program.Branches index for conditional branches, else NoBranch
+	BrID int32 // Program.Branches index for conditional branches, else NoBranch
 
-	Taken     bool   // actual direction (conditional branches)
-	TakenPC   uint64 // PC of the taken target (branch/jump/call)
-	FallPC    uint64 // PC of the fall-through successor
-	Addr      uint64 // effective address (memory ops)
-	WrongPath bool   // set by the pipeline when fetched under a misprediction
+	// Ckpt is a handle into the walker's checkpoint arena, leased by Next
+	// for conditional branches only. The checkpointed state is the walker
+	// just after outcome generation but before steering; restoring it and
+	// steering with the actual outcome resumes the correct path. The lease
+	// is released by Recover, or by Walker.Release when the branch resolves
+	// correctly or is squashed. NoCkpt for every other instruction.
+	Ckpt int32
 
-	// Ckpt is the walker state just after outcome generation but before
-	// steering; restoring it and steering with the actual outcome resumes
-	// the correct path. Only populated for conditional branches.
-	Ckpt WalkState
+	Taken     bool // actual direction (conditional branches)
+	WrongPath bool // set by the pipeline when fetched under a misprediction
 }
 
 // Walker generates the dynamic instruction stream of a program. The walker
 // follows whatever directions the front end steers it in (predicted
 // directions), so it naturally produces genuine wrong-path instruction
 // streams; actual outcomes are reported on each branch for later resolution.
+//
+// # Checkpoint arena
+//
+// The walker owns a pooled arena of WalkState checkpoints. Next leases one
+// slot per conditional branch and records the handle in DynInst.Ckpt; the
+// lease returns to the free list when the branch no longer needs recovery
+// state — Recover frees it after restoring, and the pipeline calls Release
+// when a branch resolves correctly or is squashed. In steady state the arena
+// footprint is bounded by the machine's in-flight branch capacity and the
+// free list recycles slots without allocating; CkptStats probes this the way
+// pipe.PoolStats probes the instruction pool.
 type Walker struct {
 	prog *Program
 	st   WalkState
@@ -81,6 +128,18 @@ type Walker struct {
 	// pendingSteer is true between producing a conditional branch and the
 	// caller's Steer call; Next panics if violated (harness bug).
 	pendingSteer bool
+
+	// legacy selects the retained reference implementation of Next: float
+	// outcome thresholds, per-Block chasing, and the memRef map instead of
+	// the integer thresholds and flat blockMeta tables. The two are
+	// bit-identical (identity tests drive them against each other); the
+	// legacy path survives for those tests, mirroring pipe.Config's
+	// LegacyScanIssue.
+	legacy bool
+
+	ckpts    []WalkState // checkpoint arena; handles index it
+	ckptFree []int32     // free slot handles
+	ckptHW   int         // high-water mark of concurrently leased slots
 }
 
 // NewWalker returns a walker positioned at the program entry.
@@ -94,19 +153,64 @@ func NewWalker(p *Program) *Walker {
 // rewinds it to the entry state, exactly as NewWalker would produce. A
 // generated Program is immutable during walks, so one decoded program can be
 // replayed by any number of resets without re-generation, and a pooled
-// walker can serve many runs without allocation.
+// walker can serve many runs without allocation: the checkpoint arena's
+// backing arrays (and the legacy-mode flag) survive the reset.
 func (w *Walker) Reset(p *Program) {
+	ckpts, free, legacy, hw := w.ckpts[:0], w.ckptFree[:0], w.legacy, w.ckptHW
 	*w = Walker{
-		prog: p,
-		st:   WalkState{Block: p.Entry, Ghist: xrand.Hash64(p.Profile.Seed)},
+		prog:     p,
+		st:       WalkState{Block: p.Entry, Ghist: xrand.Hash64(p.Profile.Seed)},
+		legacy:   legacy,
+		ckpts:    ckpts,
+		ckptFree: free,
+		ckptHW:   hw,
 	}
 }
+
+// SetLegacy switches the walker between the fast path and the retained
+// reference implementation (see the legacy field). The flag survives Reset.
+func (w *Walker) SetLegacy(on bool) { w.legacy = on }
 
 // State returns a copy of the current walker state (for tests/diagnostics).
 func (w *Walker) State() WalkState { return w.st }
 
 // Seq returns the sequence number the next instruction will receive.
 func (w *Walker) Seq() uint64 { return w.seq }
+
+// leaseCkpt hands out an arena slot, recycling the free list before growing.
+func (w *Walker) leaseCkpt() int32 {
+	var id int32
+	if n := len(w.ckptFree) - 1; n >= 0 {
+		id = w.ckptFree[n]
+		w.ckptFree = w.ckptFree[:n]
+	} else {
+		w.ckpts = append(w.ckpts, WalkState{})
+		id = int32(len(w.ckpts) - 1)
+	}
+	if leased := len(w.ckpts) - len(w.ckptFree); leased > w.ckptHW {
+		w.ckptHW = leased
+	}
+	return id
+}
+
+// Release returns a branch's checkpoint lease to the arena free list and
+// clears the handle. It is a no-op for instructions holding no lease, so the
+// pipeline can call it unconditionally on squash and on correct resolution.
+func (w *Walker) Release(d *DynInst) {
+	if d.Ckpt == NoCkpt {
+		return
+	}
+	w.ckptFree = append(w.ckptFree, d.Ckpt)
+	d.Ckpt = NoCkpt
+}
+
+// CkptStats reports the checkpoint arena's behaviour: currently leased
+// slots, total slots ever created, and the high-water mark of concurrent
+// leases. After warmup the capacity must stop growing — leak tests use this
+// probe exactly like pipe.PoolStats.
+func (w *Walker) CkptStats() (leased, capacity, highWater int) {
+	return len(w.ckpts) - len(w.ckptFree), len(w.ckpts), w.ckptHW
+}
 
 // Outcome computes the actual direction of branch br. It is a pure function
 // of (branch, global history, branch count), so the walker can replay it
@@ -119,6 +223,10 @@ func (w *Walker) Seq() uint64 { return w.seq }
 // Loop back-edges have no learnable component: they are taken until the
 // noise term fires the exit, giving geometric trip counts with mean
 // 1/NoiseP.
+//
+// This is the float-threshold reference form; the fast path uses the
+// integer-threshold outcome method below, which is provably identical (see
+// the threshold field docs on Branch) and regression-tested against this.
 func Outcome(br *Branch, ghist, brCount uint64) bool {
 	sel := xrand.Hash3(br.Seed, ghist>>24, brCount)
 	if float64(sel>>40)/float64(1<<24) < br.NoiseP {
@@ -139,17 +247,136 @@ func Outcome(br *Branch, ghist, brCount uint64) bool {
 	return detFrac < br.DetBias
 }
 
+// outcome is the integer-threshold form of Outcome: the same two hashes, but
+// the four float64 divisions and compares become integer compares against
+// the thresholds finalize precomputed. Bit-identical to Outcome by the
+// exactness argument on the threshold fields.
+func (br *Branch) outcome(ghist, brCount uint64) bool {
+	sel := xrand.Hash3(br.Seed, ghist>>24, brCount)
+	if uint32(sel>>40) < br.noiseThr {
+		return uint32(sel&0xFFFFFF) < br.biasThr
+	}
+	det := uint32(xrand.Hash2(br.Seed^0xD5AA, ghist&br.histMask) & 0xFFFFFF)
+	if br.LoopBack {
+		return det >= br.tripThr
+	}
+	return det < br.detBiasThr
+}
+
 // Next produces the next dynamic instruction into out. For conditional
 // branches the walker pauses: the caller must invoke Steer with the
 // *predicted* direction before calling Next again. All other control flow
 // steers itself.
+//
+// The fast path reads the program's flat blockMeta/code/memIDs tables and
+// the integer outcome thresholds; nextLegacy retains the original
+// implementation as the identity-test reference.
 func (w *Walker) Next(out *DynInst) {
 	if w.pendingSteer {
 		panic("prog: Next called with a pending Steer")
 	}
-	blk := &w.prog.Blocks[w.st.Block]
+	if w.legacy {
+		w.nextLegacy(out)
+		return
+	}
+	p := w.prog
+	m := &p.meta[w.st.Block]
 	// Advance through (possibly empty-remainder) blocks until an
 	// instruction is available. Fall-through blocks chain silently.
+	for w.st.Index >= int(m.n) {
+		w.st.Block = int(m.succ0)
+		w.st.Index = 0
+		m = &p.meta[w.st.Block]
+	}
+	idx := w.st.Index
+	off := int(m.off) + idx
+	st := p.code[off]
+	out.Seq = w.seq
+	out.PC = m.base + uint64(idx)*InstBytes
+	out.St = st
+	out.BrID = NoBranch
+	out.Ckpt = NoCkpt
+	w.seq++
+	w.st.Index++
+
+	switch {
+	case st.Op == isa.OpBranch:
+		br := &p.Branches[m.brID]
+		taken := br.outcome(w.st.Ghist, w.st.BrCount)
+		w.st.BrCount++
+		out.BrID = m.brID
+		out.Taken = taken
+		out.TakenPC = m.takenBase
+		out.FallPC = m.fallBase
+		// History records the *actual* outcome: outcome generation is
+		// architecturally consistent along whichever path is followed.
+		w.st.Ghist = w.st.Ghist<<1 | b2u(taken)
+		id := w.leaseCkpt()
+		w.ckpts[id] = w.st
+		out.Ckpt = id
+		w.pendingSteer = true
+	case st.Op == isa.OpJump:
+		out.TakenPC = m.takenBase
+		out.Taken = true
+		w.st.Block = int(m.succ1)
+		w.st.Index = 0
+	case st.Op == isa.OpCall:
+		out.TakenPC = m.takenBase
+		out.FallPC = m.fallBase
+		out.Taken = true
+		w.st.push(int(m.succ0))
+		w.st.Block = int(m.succ1)
+		w.st.Index = 0
+	case st.Op == isa.OpReturn:
+		target, ok := w.st.pop()
+		if !ok {
+			// Wrong-path artifact (or top-of-program): restart at entry.
+			target = p.Entry
+		}
+		out.TakenPC = p.meta[target].base
+		out.Taken = true
+		w.st.Block = target
+		w.st.Index = 0
+	case st.Op.IsMem():
+		if id := p.memIDs[off]; id >= 0 {
+			mr := &p.MemRefs[id]
+			if mr.Wild {
+				// No temporal locality, and keyed on the full history
+				// so a wrong path's reconvergent loads do NOT compute
+				// the correct path's future addresses (register state
+				// differs across paths in real programs). Wild loads
+				// miss often, and on the wrong path they are pure
+				// cache pollution — the effect behind the paper's
+				// oracle-fetch speedup.
+				out.Addr = mr.Base + mr.fold(xrand.Hash3(mr.Seed, w.st.Ghist, w.st.BrCount))
+			} else {
+				// Slowly moving working set: the address advances
+				// only every 64 branches, so repeated executions hit.
+				out.Addr = mr.Base + mr.fold(xrand.Hash2(mr.Seed, w.st.BrCount>>6))
+			}
+		}
+	}
+
+	// If a fall-through block is exhausted, chain to its successor so the
+	// next PC is correct for fetch-group formation.
+	if !w.pendingSteer {
+		m = &p.meta[w.st.Block]
+		for w.st.Index >= int(m.n) && m.term == isa.OpNop {
+			if m.succ0 == NoBlock {
+				break
+			}
+			w.st.Block = int(m.succ0)
+			w.st.Index = 0
+			m = &p.meta[w.st.Block]
+		}
+	}
+}
+
+// nextLegacy is the retained reference implementation of Next: float
+// outcome thresholds, Block-structure chasing, and the memRef map lookup.
+// Identity tests drive it against the fast path across every profile.
+func (w *Walker) nextLegacy(out *DynInst) {
+	blk := &w.prog.Blocks[w.st.Block]
 	for w.st.Index >= len(blk.Code) {
 		w.st.Block = blk.Succ[0]
 		w.st.Index = 0
@@ -157,20 +384,11 @@ func (w *Walker) Next(out *DynInst) {
 	}
 	idx := w.st.Index
 	st := blk.Code[idx]
-	// Reset fields individually instead of assigning a DynInst literal: the
-	// literal would zero the ~300-byte Ckpt (call-stack array) on every
-	// instruction, and Ckpt is only meaningful — and always overwritten —
-	// for conditional branches. Non-branch instructions may carry a stale
-	// Ckpt; nothing reads it (Recover rejects non-branches).
 	out.Seq = w.seq
 	out.PC = blk.Base + uint64(idx)*InstBytes
 	out.St = st
 	out.BrID = NoBranch
-	out.Taken = false
-	out.TakenPC = 0
-	out.FallPC = 0
-	out.Addr = 0
-	out.WrongPath = false
+	out.Ckpt = NoCkpt
 	w.seq++
 	w.st.Index++
 
@@ -179,14 +397,14 @@ func (w *Walker) Next(out *DynInst) {
 		br := &w.prog.Branches[blk.BrID]
 		taken := Outcome(br, w.st.Ghist, w.st.BrCount)
 		w.st.BrCount++
-		out.BrID = blk.BrID
+		out.BrID = int32(blk.BrID)
 		out.Taken = taken
 		out.TakenPC = w.prog.Blocks[blk.Succ[1]].Base
 		out.FallPC = w.prog.Blocks[blk.Succ[0]].Base
-		// History records the *actual* outcome: outcome generation is
-		// architecturally consistent along whichever path is followed.
 		w.st.Ghist = w.st.Ghist<<1 | b2u(taken)
-		out.Ckpt = w.st
+		id := w.leaseCkpt()
+		w.ckpts[id] = w.st
+		out.Ckpt = id
 		w.pendingSteer = true
 	case st.Op == isa.OpJump:
 		out.TakenPC = w.prog.Blocks[blk.Succ[1]].Base
@@ -203,7 +421,6 @@ func (w *Walker) Next(out *DynInst) {
 	case st.Op == isa.OpReturn:
 		target, ok := w.st.pop()
 		if !ok {
-			// Wrong-path artifact (or top-of-program): restart at entry.
 			target = w.prog.Entry
 		}
 		out.TakenPC = w.prog.Blocks[target].Base
@@ -213,24 +430,13 @@ func (w *Walker) Next(out *DynInst) {
 	case st.Op.IsMem():
 		if m, ok := w.prog.memRef(w.st.Block, idx); ok {
 			if m.Wild {
-				// No temporal locality, and keyed on the full history
-				// so a wrong path's reconvergent loads do NOT compute
-				// the correct path's future addresses (register state
-				// differs across paths in real programs). Wild loads
-				// miss often, and on the wrong path they are pure
-				// cache pollution — the effect behind the paper's
-				// oracle-fetch speedup.
 				out.Addr = m.Base + xrand.Hash3(m.Seed, w.st.Ghist, w.st.BrCount)%m.Span&^7
 			} else {
-				// Slowly moving working set: the address advances
-				// only every 64 branches, so repeated executions hit.
 				out.Addr = m.Base + xrand.Hash2(m.Seed, w.st.BrCount>>6)%m.Span&^7
 			}
 		}
 	}
 
-	// If a fall-through block is exhausted, chain to its successor so the
-	// next PC is correct for fetch-group formation.
 	if !w.pendingSteer {
 		blk = &w.prog.Blocks[w.st.Block]
 		for w.st.Index >= len(blk.Code) && blk.Terminator() == isa.OpNop {
@@ -262,14 +468,18 @@ func (w *Walker) Steer(taken bool) {
 	w.pendingSteer = false
 }
 
-// Recover rewinds the walker to a branch's checkpoint and steers it down the
-// actual path: the fetch stream continues on the correct path exactly as if
-// the branch had been predicted correctly.
+// Recover rewinds the walker to a branch's checkpoint, releases the lease,
+// and steers down the actual path: the fetch stream continues on the correct
+// path exactly as if the branch had been predicted correctly.
 func (w *Walker) Recover(d *DynInst) {
 	if d.BrID == NoBranch {
 		panic("prog: Recover on a non-branch")
 	}
-	w.st = d.Ckpt
+	if d.Ckpt == NoCkpt {
+		panic("prog: Recover on a branch whose checkpoint was released")
+	}
+	w.st = w.ckpts[d.Ckpt]
+	w.Release(d)
 	w.pendingSteer = true
 	w.Steer(d.Taken)
 }
@@ -277,16 +487,28 @@ func (w *Walker) Recover(d *DynInst) {
 // NextPC reports the PC the walker will fetch next (for I-cache access
 // grouping). It resolves pending fall-through chains conservatively.
 func (w *Walker) NextPC() uint64 {
-	blk := &w.prog.Blocks[w.st.Block]
-	idx := w.st.Index
-	for idx >= len(blk.Code) {
-		if blk.Succ[0] == NoBlock {
-			return blk.Base
+	if w.legacy {
+		blk := &w.prog.Blocks[w.st.Block]
+		idx := w.st.Index
+		for idx >= len(blk.Code) {
+			if blk.Succ[0] == NoBlock {
+				return blk.Base
+			}
+			blk = &w.prog.Blocks[blk.Succ[0]]
+			idx = 0
 		}
-		blk = &w.prog.Blocks[blk.Succ[0]]
+		return blk.Base + uint64(idx)*InstBytes
+	}
+	m := &w.prog.meta[w.st.Block]
+	idx := w.st.Index
+	for idx >= int(m.n) {
+		if m.succ0 == NoBlock {
+			return m.base
+		}
+		m = &w.prog.meta[m.succ0]
 		idx = 0
 	}
-	return blk.Base + uint64(idx)*InstBytes
+	return m.base + uint64(idx)*InstBytes
 }
 
 func b2u(b bool) uint64 {

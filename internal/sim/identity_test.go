@@ -72,6 +72,52 @@ func TestEventIssueMatchesScanAllPolicies(t *testing.T) {
 	}
 }
 
+// runWithWalkMode executes cfg/profile with the chosen walker
+// implementation and strips the mode flag from the result's Config so the
+// two modes compare equal on everything observable.
+func runWithWalkMode(cfg Config, p prog.Profile, legacy bool) Result {
+	cfg.LegacyWalk = legacy
+	res := NewRunner().Run(cfg, p)
+	res.Config.LegacyWalk = false
+	return res
+}
+
+// The walker fast path (integer outcome thresholds, blockMeta tables,
+// arena-indirected checkpoints) must be indistinguishable from the retained
+// legacy reference across full simulations: identical statistics, power
+// accounting, and cache evolution. Result is comparable, so == is a
+// bit-level check across all of it.
+
+func TestFastWalkMatchesLegacyAllProfiles(t *testing.T) {
+	cfg := Default()
+	cfg.Instructions = 12000
+	cfg.Warmup = 3000
+	c2 := BestExperiment()
+	for _, p := range prog.Profiles() {
+		for _, e := range []Experiment{{ID: "baseline", Policy: core.Baseline(), Estimator: EstBPRU}, c2} {
+			ecfg := e.Apply(cfg)
+			if got, want := runWithWalkMode(ecfg, p, false), runWithWalkMode(ecfg, p, true); got != want {
+				t.Errorf("%s/%s: walker fast path diverged from legacy reference", p.Name, e.ID)
+			}
+		}
+	}
+}
+
+func TestFastWalkMatchesLegacyAllPolicies(t *testing.T) {
+	cfg := Default()
+	cfg.Instructions = 10000
+	cfg.Warmup = 2500
+	for _, name := range []string{"go", "gzip", "twolf"} {
+		p, _ := prog.ProfileByName(name)
+		for _, e := range identityPolicies() {
+			ecfg := e.Apply(cfg)
+			if got, want := runWithWalkMode(ecfg, p, false), runWithWalkMode(ecfg, p, true); got != want {
+				t.Errorf("%s/%s: walker fast path diverged from legacy reference", name, e.ID)
+			}
+		}
+	}
+}
+
 func TestEventIssueMatchesScanStressShapes(t *testing.T) {
 	// Structural corner cases: deep pipe (long latencies, wheel clamping),
 	// tiny window (constant back-pressure, constant flushes), perfect
