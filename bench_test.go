@@ -226,6 +226,36 @@ func BenchmarkIssueStage(b *testing.B) {
 	}
 }
 
+// BenchmarkFrontEnd isolates the in-order front end on a front-end-bound
+// shape (28-stage pipe: 12-deep fetch and decode pipes, so refill traffic
+// after every squash dominates), comparing the fused delay line (batched
+// fetch groups over one ring + cursor) against the legacy two-ring
+// reference it replaced. The two are bit-identical in results; the identity
+// tests enforce it.
+func BenchmarkFrontEnd(b *testing.B) {
+	prev := sim.SetResultCaching(false)
+	defer sim.SetResultCaching(prev)
+	for _, mode := range []struct {
+		name   string
+		legacy bool
+	}{{"fused", false}, {"legacy", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			profile, _ := prog.ProfileByName("go")
+			cfg := sim.Default()
+			cfg.Pipe.SetDepth(28)
+			cfg.Pipe.LegacyFrontEnd = mode.legacy
+			cfg.Instructions = 24000
+			cfg.Warmup = 6000
+			sim.Run(cfg, profile)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sim.Run(cfg, profile)
+			}
+		})
+	}
+}
+
 // BenchmarkWalkerNext isolates the workload walker — the single hottest
 // function of the cycle loop — on the highest-misprediction profile,
 // comparing the fast path (integer outcome thresholds, flat blockMeta

@@ -38,6 +38,15 @@ import (
 )
 
 func main() {
+	// All work happens in run so deferred cleanup — profile flushing above
+	// all — executes on every path, including the error exits. A bare
+	// os.Exit in the middle of main skips deferred StopCPUProfile/Close and
+	// truncates the profile files, which is exactly the failure mode this
+	// structure removes.
+	os.Exit(run())
+}
+
+func run() int {
 	exp := flag.String("exp", "all", "experiment to reproduce (table1|table2|table3|fig1|fig3|fig4|fig5|fig6|fig7|conf|ablation|all|run)")
 	id := flag.String("id", "C2", "experiment id for -exp run (e.g. A5, B7, C2, oracle-fetch)")
 	n := flag.Uint64("n", prog.DefaultInstructions, "measured instructions per benchmark")
@@ -46,6 +55,7 @@ func main() {
 	kb := flag.Int("kb", 16, "total predictor+estimator budget in KB (split half/half)")
 	bench := flag.String("bench", "", "restrict to a comma-separated list of benchmarks")
 	verbose := flag.Bool("v", false, "print the process-wide result-cache reuse summary at exit")
+	legacyFront := flag.Bool("legacyfrontend", false, "simulate on the two-ring reference front end (diagnostics; output is byte-identical)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -53,11 +63,12 @@ func main() {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hpca03: -cpuprofile: %v\n", err)
-			os.Exit(2)
+			return 2
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
 			fmt.Fprintf(os.Stderr, "hpca03: -cpuprofile: %v\n", err)
-			os.Exit(2)
+			return 2
 		}
 		defer func() {
 			pprof.StopCPUProfile()
@@ -87,11 +98,12 @@ func main() {
 	}
 
 	opts := sim.Options{
-		Instructions: *n,
-		Warmup:       *warmup,
-		Depth:        *depth,
-		PredBytes:    *kb * 1024 / 2,
-		ConfBytes:    *kb * 1024 / 2,
+		Instructions:   *n,
+		Warmup:         *warmup,
+		Depth:          *depth,
+		PredBytes:      *kb * 1024 / 2,
+		ConfBytes:      *kb * 1024 / 2,
+		LegacyFrontEnd: *legacyFront,
 	}
 	if *bench != "" {
 		var ps []prog.Profile
@@ -99,7 +111,7 @@ func main() {
 			p, ok := prog.ProfileByName(strings.TrimSpace(name))
 			if !ok {
 				fmt.Fprintf(os.Stderr, "hpca03: unknown benchmark %q\n", name)
-				os.Exit(2)
+				return 2
 			}
 			ps = append(ps, p)
 		}
@@ -139,7 +151,7 @@ func main() {
 		e, ok := sim.ExperimentByID(*id)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "hpca03: unknown experiment id %q\n", *id)
-			os.Exit(2)
+			return 2
 		}
 		runFigure("Experiment "+e.ID+": "+e.Label, []sim.Experiment{e}, opts)
 	case "all":
@@ -166,8 +178,9 @@ func main() {
 		sim.WriteSweep(os.Stdout, "Figure 7: predictor+estimator size (experiment C2)", "KB", points)
 	default:
 		fmt.Fprintf(os.Stderr, "hpca03: unknown experiment %q\n", *exp)
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }
 
 func runTable1(opts sim.Options) {

@@ -164,6 +164,13 @@ type Controller struct {
 
 	lowCount int // unresolved low-confidence branches (Pipeline Gating)
 
+	// decodeRestrictive counts unresolved triggers whose spec restricts
+	// decode bandwidth. It lets the pipeline skip the per-instruction
+	// DecodeRateFor scan entirely when no trigger could make it return
+	// anything but RateFull — the overwhelmingly common case (the baseline
+	// and every fetch-only policy never restrict decode).
+	decodeRestrictive int
+
 	// Stats.
 	Triggered   uint64 // heuristic initiations
 	GatedCycles uint64 // cycles with fetch not fully active
@@ -185,6 +192,7 @@ func (c *Controller) Reset(p Policy) {
 	c.triggers = c.triggers[:0]
 	c.noSelect = c.noSelect[:0]
 	c.lowCount = 0
+	c.decodeRestrictive = 0
 	c.Triggered = 0
 	c.GatedCycles = 0
 }
@@ -209,6 +217,9 @@ func (c *Controller) OnBranchPredicted(seq uint64, class conf.Class) Spec {
 	if spec.NoSelect {
 		c.noSelect = append(c.noSelect, seq)
 	}
+	if spec.Decode != RateFull {
+		c.decodeRestrictive++
+	}
 	c.Triggered++
 	return spec
 }
@@ -220,6 +231,9 @@ func (c *Controller) OnBranchResolved(seq uint64) {
 		if c.triggers[i].seq == seq {
 			if c.triggers[i].lowConf {
 				c.lowCount--
+			}
+			if c.triggers[i].spec.Decode != RateFull {
+				c.decodeRestrictive--
 			}
 			c.triggers = append(c.triggers[:i], c.triggers[i+1:]...)
 			break
@@ -235,8 +249,13 @@ func (c *Controller) OnSquash(seq uint64) {
 	for _, t := range c.triggers {
 		if t.seq <= seq {
 			keep = append(keep, t)
-		} else if t.lowConf {
+			continue
+		}
+		if t.lowConf {
 			c.lowCount--
+		}
+		if t.spec.Decode != RateFull {
+			c.decodeRestrictive--
 		}
 	}
 	c.triggers = keep
@@ -285,6 +304,16 @@ func (c *Controller) DecodeRate() Rate {
 	}
 	return r
 }
+
+// DecodeThrottled reports whether any unresolved trigger restricts decode
+// bandwidth; when false, DecodeRateFor is RateFull for every instruction.
+// The check is a plain counter read, so the pipeline's decode stage can gate
+// its per-instruction DecodeRateFor scans on it.
+func (c *Controller) DecodeThrottled() bool { return c.decodeRestrictive > 0 }
+
+// HasNoSelect reports whether any NoSelect trigger is unresolved; when
+// false, BarrierFor finds nothing for any instruction.
+func (c *Controller) HasNoSelect() bool { return len(c.noSelect) > 0 }
 
 // DecodeRateFor returns the decode bandwidth level that applies to the
 // instruction with the given seq: only triggers *older* than the

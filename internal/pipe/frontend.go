@@ -1,0 +1,294 @@
+package pipe
+
+// Fused front-end delay line.
+//
+// The in-order front end is a pair of pure fixed-latency delays (fetch and
+// decode pipes) whose only interesting events are group boundaries,
+// back-pressure, and squash. The historical implementation moved every
+// instruction through two per-instruction rings (fetchQ, decodeQ); the fused
+// front end keeps one ring and a cursor:
+//
+//   - fetch forms a whole group per I-cache access — up to FetchWidth
+//     instructions, truncated by taken-branch limits, BTB-miss redirects,
+//     oracle holds, and the free capacity of the fetch segment — obtained
+//     from the walker in straight-line batches via prog.Walker.NextGroup,
+//     and appends it to the ring in one pass. Every instruction of a group
+//     shares its enter-fetch cycle (inst.fetchCycle) and enter-decode stamp
+//     (inst.enterDecode = fetch cycle + fetch pipe depth + I-miss delay);
+//   - decoded counts the ring's decoded prefix: instructions [0, decoded)
+//     have passed decode (each stamped with its enter-dispatch cycle,
+//     inst.enterWindow), instructions [decoded, Len) are still in the fetch
+//     pipe. Decode advances the cursor at DecodeWidth per cycle under the
+//     per-instruction throttle/oracle gates; it never moves an element;
+//   - dispatch pops from the ring head while the prefix is non-empty.
+//
+// The two logical segments (fetched-undecoded, decoded-undispatched) are
+// bounded by the same capacities the two rings had, so back-pressure
+// behaviour is identical, and a flush squashes the whole ring back to front
+// — exactly the youngest-to-oldest order of the legacy path's two queue
+// drains, which the checkpoint free list observes. The rings survive behind
+// Config.LegacyFrontEnd as the bit-identity reference, and CheckInvariants
+// cross-validates the cursor bookkeeping against the resident instructions.
+
+import (
+	"fmt"
+
+	"selthrottle/internal/core"
+	"selthrottle/internal/isa"
+	"selthrottle/internal/power"
+)
+
+// fetchSegLen reports the fetched-but-undecoded instruction count of the
+// fused delay line.
+func (p *Pipeline) fetchSegLen() int { return p.frontQ.Len() - p.decoded }
+
+// ---------------------------------------------------------------- fetch --
+
+// fetchFused forms one fetch group per I-cache access and appends it to the
+// delay line. The instruction stream, predictor/BTB/RAS interaction order,
+// power events, and statistics are bit-identical to the legacy two-ring
+// fetch: the walker batches only straight-line runs (NextGroup stops after
+// every control transfer), so each control instruction is predicted and
+// steered at exactly the point the per-instruction loop would have reached
+// it.
+func (p *Pipeline) fetchFused() {
+	dbg := p.DebugFetchLo < p.DebugFetchHi && p.cycle >= p.DebugFetchLo && p.cycle < p.DebugFetchHi
+	if p.fetchHeld || p.cycle < p.fetchResumeAt {
+		if dbg {
+			fmt.Printf("  f@%d held=%v resumeAt=%d\n", p.cycle, p.fetchHeld, p.fetchResumeAt)
+		}
+		p.Stats.FetchIdleHeld++
+		return
+	}
+	if dbg {
+		defer func() {
+			fmt.Printf("  f@%d fetchQ=%d decodeQ=%d window=%d\n", p.cycle, p.fetchSegLen(), p.decoded, p.window.Len())
+		}()
+	}
+	rate := p.ctrl.FetchRate()
+	if !rate.ActiveAt(uint64(p.cycle)) {
+		p.Stats.FetchGatedCycles++
+		p.ctrl.NoteGatedCycle()
+		return
+	}
+	// Back-pressure gates on the capacity actually available (the group is
+	// truncated to the space left); only a completely full fetch segment
+	// idles fetch. Mirrors the legacy path's check exactly.
+	width := p.cfg.FetchWidth
+	if avail := p.fetchCap - p.fetchSegLen(); avail < width {
+		if avail == 0 {
+			p.Stats.FetchIdleBackPressure++
+			return // front-end back-pressure
+		}
+		width = avail
+	}
+
+	// One I-cache access per fetch group; misses delay the group and stall
+	// subsequent fetch for the refill.
+	pc := p.walker.NextPC()
+	lat, l2 := p.mem.InstFetch(pc, p.cycle)
+	extra := int64(lat - p.cfg.Mem.L1HitLat)
+	if extra > 0 {
+		p.fetchResumeAt = p.cycle + extra
+	}
+
+	enterDecode := p.cycle + int64(p.cfg.FetchStages) + extra
+	taken, n := 0, 0
+	for n < width {
+		k := p.walker.NextGroup(p.fetchBuf[:width-n])
+		// The wrong-path flag is constant across the batch: only the
+		// batch-terminating control transfer can change it, below.
+		wrong := p.wrongPath
+		var in *inst
+		for i := 0; i < k; i++ {
+			in = p.allocInst()
+			in.d = p.fetchBuf[i]
+			in.fetchCycle = p.cycle
+			in.d.WrongPath = wrong
+			in.enterDecode = enterDecode
+			in.evMask |= 1 << uint(power.UnitICache)
+			in.ev[power.UnitICache]++
+			p.frontQ.PushBack(in)
+		}
+		p.tally[power.UnitICache] += uint64(k)
+		p.Stats.Fetched += uint64(k)
+		if wrong {
+			p.Stats.WrongPathFetched += uint64(k)
+		}
+		if n == 0 && l2 {
+			p.note(p.frontQ.At(p.frontQ.Len()-k), power.UnitDCache2)
+		}
+		n += k
+		// NextGroup puts a control transfer — if any — in the batch's last
+		// slot; everything before it is plain straight-line work.
+		op := in.d.St.Op
+		if !op.IsControl() {
+			continue // batch ended because the group is full
+		}
+		p.note(in, power.UnitBPred)
+		stop := false
+		switch op {
+		case isa.OpBranch:
+			stop = p.fetchCondBranch(in, &taken)
+		case isa.OpJump:
+			p.btbTouch(in.d.PC, in.d.TakenPC)
+			taken++
+		case isa.OpCall:
+			p.btbTouch(in.d.PC, in.d.TakenPC)
+			p.ras.Push(in.d.FallPC)
+			taken++
+		case isa.OpReturn:
+			p.ras.Pop() // target supplied by the walker (see bpred.RAS doc)
+			taken++
+		}
+		if stop || taken >= p.cfg.MaxTakenPerCycle {
+			break
+		}
+	}
+}
+
+// --------------------------------------------------------------- decode --
+
+// decodeFused moves up to DecodeWidth instructions across the fetch/decode
+// boundary by advancing the decoded cursor; per-instruction gates (throttle
+// rates, the oracle-decode limit study) and power accounting match the
+// legacy stage exactly.
+func (p *Pipeline) decodeFused() {
+	width := p.cfg.DecodeWidth
+	// Triggers only change at fetch and resolve, so whether any of them
+	// restricts decode is loop-invariant; the common unthrottled case skips
+	// the per-instruction rate scan entirely.
+	throttled := p.ctrl.DecodeThrottled()
+	oracleDecode := p.cfg.Oracle == core.OracleDecode
+	for n := 0; n < width && p.decoded < p.frontQ.Len(); n++ {
+		in := p.frontQ.At(p.decoded)
+		if in.enterDecode > p.cycle || p.decoded >= p.decodeCap {
+			return
+		}
+		// Decode throttling applies per instruction: only triggers older
+		// than this instruction restrict it (see core.DecodeRateFor).
+		if throttled {
+			if rate := p.ctrl.DecodeRateFor(in.d.Seq); !rate.ActiveAt(uint64(p.cycle)) {
+				if n == 0 {
+					p.Stats.DecodeGatedCycles++
+				}
+				return
+			}
+		}
+		if oracleDecode && in.d.WrongPath {
+			return // limit study: wrong-path instructions stall at decode
+		}
+		// Per-instruction decode work, mirroring decodeOne (the legacy
+		// stage's form). Deliberate duplication: the body is beyond the
+		// inliner's budget and interleaved A/B measured the extracted-call
+		// version ~2% slower end to end; the identity and randomized
+		// accounting tests pin the two copies to each other on every
+		// profile, policy, width, and depth.
+		in.enterWindow = p.cycle + int64(p.cfg.DecodeStages)
+		p.note(in, power.UnitRename)
+		p.note(in, power.UnitWindow)
+		if in.d.St.Src1 != isa.RegNone {
+			p.note(in, power.UnitRegfile)
+		}
+		if in.d.St.Src2 != isa.RegNone {
+			p.note(in, power.UnitRegfile)
+		}
+		if in.isMem() {
+			p.note(in, power.UnitLSQ)
+		}
+		if in.d.WrongPath {
+			p.Stats.WrongPathDecoded++
+		}
+		p.decoded++
+	}
+}
+
+// ------------------------------------------------------------- dispatch --
+
+// dispatchFused inserts decoded instructions into the window from the delay
+// line's head. Decode is strictly in order, so the decoded prefix always
+// starts at the ring head.
+func (p *Pipeline) dispatchFused() {
+	width := p.cfg.IssueWidth
+	for n := 0; n < width && p.decoded > 0; n++ {
+		in := p.frontQ.At(0)
+		if in.enterWindow > p.cycle || p.window.Full() {
+			return
+		}
+		if in.isMem() && p.lsqUsed >= p.cfg.LSQSize {
+			return
+		}
+		p.frontQ.PopFront()
+		p.decoded--
+		// Per-instruction dispatch work, mirroring dispatchOne (the legacy
+		// stage's form) — deliberate, measured duplication for the same
+		// reason as the decode body above; the identity tests pin the
+		// copies.
+		nsrc := 0
+		if r := in.d.St.Src1; r != isa.RegNone {
+			if prod := p.regs[r]; prod != nil && !prod.done {
+				in.srcs[0] = prod
+				in.srcSeq[0] = prod.d.Seq
+				nsrc = 1
+				if p.eventIssue {
+					prod.deps = append(prod.deps, instRef{in, in.d.Seq})
+				}
+			}
+		}
+		if r := in.d.St.Src2; r != isa.RegNone {
+			if prod := p.regs[r]; prod != nil && !prod.done {
+				in.srcs[nsrc] = prod
+				in.srcSeq[nsrc] = prod.d.Seq
+				nsrc++
+				if p.eventIssue {
+					prod.deps = append(prod.deps, instRef{in, in.d.Seq})
+				}
+			}
+		}
+		if d := in.d.St.Dest; d != isa.RegNone {
+			p.regs[d] = in
+		}
+		if in.isMem() {
+			p.lsqUsed++
+		}
+		if in.d.WrongPath {
+			p.Stats.WrongPathDispatched++
+		}
+		in.windowCycle = p.cycle
+		in.hasBarrier = false
+		if p.ctrl.HasNoSelect() {
+			if b, ok := p.ctrl.BarrierFor(in.d.Seq); ok {
+				in.barrier = b
+				in.hasBarrier = true
+			}
+		}
+		in.wpos = int32(p.window.backSlot())
+		if p.eventIssue {
+			in.nwait = uint8(nsrc)
+			if nsrc == 0 {
+				p.setReady(in)
+			} else {
+				p.clearReady(in)
+			}
+			if in.hasBarrier {
+				p.barrierQ = append(p.barrierQ, instRef{in, in.d.Seq})
+			}
+			if in.d.St.Op == isa.OpStore {
+				p.storeQ = append(p.storeQ, instRef{in, in.d.Seq})
+			}
+		}
+		p.window.PushBack(in)
+	}
+}
+
+// --------------------------------------------------------------- squash --
+
+// flushFrontFused squashes every undispatched instruction in the delay line,
+// youngest first — the same global order the legacy path's back-to-front
+// queue drains produce, which the checkpoint free-list ordering observes.
+func (p *Pipeline) flushFrontFused() {
+	for p.frontQ.Len() > 0 {
+		p.squash(p.frontQ.PopBack())
+	}
+	p.decoded = 0
+}

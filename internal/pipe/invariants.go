@@ -73,30 +73,38 @@ func (p *Pipeline) CheckInvariants() error {
 		}
 	}
 
-	// 4: front-end queues younger than the window, in order.
-	check := func(name string, q *ring[*inst]) error {
-		var qprev uint64
-		for i := 0; i < q.Len(); i++ {
-			in := q.At(i)
-			if in.d.Seq <= youngest && p.window.Len() > 0 {
-				return fmt.Errorf("%s holds seq %d not younger than window tail %d",
-					name, in.d.Seq, youngest)
-			}
-			if i > 0 && in.d.Seq <= qprev {
-				return fmt.Errorf("%s out of order at %d", name, i)
-			}
-			qprev = in.d.Seq
-			if in.squashed {
-				return fmt.Errorf("%s holds squashed seq %d", name, in.d.Seq)
-			}
+	// 4: the front end holds only instructions younger than the window, in
+	// age order. The fused delay line additionally pins its cursors and
+	// segment occupancy counters to the resident instructions.
+	if p.fusedFront {
+		if err := p.checkFusedFrontEnd(youngest); err != nil {
+			return err
 		}
-		return nil
-	}
-	if err := check("fetchQ", p.fetchQ); err != nil {
-		return err
-	}
-	if err := check("decodeQ", p.decodeQ); err != nil {
-		return err
+	} else {
+		check := func(name string, q *ring[*inst]) error {
+			var qprev uint64
+			for i := 0; i < q.Len(); i++ {
+				in := q.At(i)
+				if in.d.Seq <= youngest && p.window.Len() > 0 {
+					return fmt.Errorf("%s holds seq %d not younger than window tail %d",
+						name, in.d.Seq, youngest)
+				}
+				if i > 0 && in.d.Seq <= qprev {
+					return fmt.Errorf("%s out of order at %d", name, i)
+				}
+				qprev = in.d.Seq
+				if in.squashed {
+					return fmt.Errorf("%s holds squashed seq %d", name, in.d.Seq)
+				}
+			}
+			return nil
+		}
+		if err := check("fetchQ", p.fetchQ); err != nil {
+			return err
+		}
+		if err := check("decodeQ", p.decodeQ); err != nil {
+			return err
+		}
 	}
 
 	// 6: event-driven issue bookkeeping mirrors the window exactly.
@@ -146,29 +154,40 @@ func (p *Pipeline) CheckInvariants() error {
 	// completion, so an in-flight branch must hold a lease iff it is not
 	// done; squashed wheel residue must hold none (squash released it).
 	leases := 0
+	checkLease := func(name string, in *inst, leases *int) error {
+		isBranch := in.d.St.Op == isa.OpBranch
+		switch {
+		case isBranch && !in.done && in.d.Ckpt == prog.NoCkpt:
+			return fmt.Errorf("%s: unresolved branch seq %d lost its checkpoint lease", name, in.d.Seq)
+		case isBranch && in.done && in.d.Ckpt != prog.NoCkpt:
+			return fmt.Errorf("%s: resolved branch seq %d still holds checkpoint %d", name, in.d.Seq, in.d.Ckpt)
+		case !isBranch && in.d.Ckpt != prog.NoCkpt:
+			return fmt.Errorf("%s: non-branch seq %d holds checkpoint %d", name, in.d.Seq, in.d.Ckpt)
+		}
+		if in.d.Ckpt != prog.NoCkpt {
+			*leases++
+		}
+		return nil
+	}
 	countLeases := func(name string, q *ring[*inst]) error {
 		for i := 0; i < q.Len(); i++ {
-			in := q.At(i)
-			isBranch := in.d.St.Op == isa.OpBranch
-			switch {
-			case isBranch && !in.done && in.d.Ckpt == prog.NoCkpt:
-				return fmt.Errorf("%s: unresolved branch seq %d lost its checkpoint lease", name, in.d.Seq)
-			case isBranch && in.done && in.d.Ckpt != prog.NoCkpt:
-				return fmt.Errorf("%s: resolved branch seq %d still holds checkpoint %d", name, in.d.Seq, in.d.Ckpt)
-			case !isBranch && in.d.Ckpt != prog.NoCkpt:
-				return fmt.Errorf("%s: non-branch seq %d holds checkpoint %d", name, in.d.Seq, in.d.Ckpt)
-			}
-			if in.d.Ckpt != prog.NoCkpt {
-				leases++
+			if err := checkLease(name, q.At(i), &leases); err != nil {
+				return err
 			}
 		}
 		return nil
 	}
-	if err := countLeases("fetchQ", p.fetchQ); err != nil {
-		return err
-	}
-	if err := countLeases("decodeQ", p.decodeQ); err != nil {
-		return err
+	if p.fusedFront {
+		if err := countLeases("frontend", p.frontQ); err != nil {
+			return err
+		}
+	} else {
+		if err := countLeases("fetchQ", p.fetchQ); err != nil {
+			return err
+		}
+		if err := countLeases("decodeQ", p.decodeQ); err != nil {
+			return err
+		}
 	}
 	if err := countLeases("window", p.window); err != nil {
 		return err
@@ -182,6 +201,44 @@ func (p *Pipeline) CheckInvariants() error {
 	}
 	if leased, _, _ := p.walker.CkptStats(); leased != leases {
 		return fmt.Errorf("walker reports %d leased checkpoints, pipeline holds %d", leased, leases)
+	}
+	return nil
+}
+
+// checkFusedFrontEnd validates the fused delay line's structure against the
+// instructions it holds: global age order, youth relative to the window, no
+// squashed residue, decode-cursor discipline (the decoded prefix carries
+// enter-dispatch stamps), and the two segment occupancies against their
+// capacities. Enter-decode stamps are deliberately NOT required to be
+// monotone along the ring: a fetch group formed right after an I-cache miss
+// can carry a smaller stamp than the missing group ahead of it (both front
+// ends gate decode on the head instruction only, so the inversion is
+// harmless and identical in the two-ring reference).
+func (p *Pipeline) checkFusedFrontEnd(youngest uint64) error {
+	if p.decoded < 0 || p.decoded > p.frontQ.Len() {
+		return fmt.Errorf("frontend decode cursor %d outside [0, %d]", p.decoded, p.frontQ.Len())
+	}
+	var prev uint64
+	for i := 0; i < p.frontQ.Len(); i++ {
+		in := p.frontQ.At(i)
+		if in.d.Seq <= youngest && p.window.Len() > 0 {
+			return fmt.Errorf("frontend holds seq %d not younger than window tail %d", in.d.Seq, youngest)
+		}
+		if i > 0 && in.d.Seq <= prev {
+			return fmt.Errorf("frontend out of order at %d: %d after %d", i, in.d.Seq, prev)
+		}
+		prev = in.d.Seq
+		if in.squashed {
+			return fmt.Errorf("frontend holds squashed seq %d", in.d.Seq)
+		}
+		if i < p.decoded && in.enterWindow < in.enterDecode {
+			return fmt.Errorf("decoded seq %d has enter-dispatch stamp %d before enter-decode %d",
+				in.d.Seq, in.enterWindow, in.enterDecode)
+		}
+	}
+	if fetchSeg := p.fetchSegLen(); fetchSeg > p.fetchCap || p.decoded > p.decodeCap {
+		return fmt.Errorf("frontend occupancy fetch=%d/%d decode=%d/%d exceeds capacity",
+			fetchSeg, p.fetchCap, p.decoded, p.decodeCap)
 	}
 	return nil
 }

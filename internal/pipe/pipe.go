@@ -111,7 +111,33 @@ type Config struct {
 	// identity regression tests and as a diagnostic fallback.
 	LegacyScanIssue bool
 
+	// LegacyFrontEnd selects the historical two-ring front end (separate
+	// per-instruction fetch and decode queues) instead of the fused
+	// delay line that carries whole fetch groups (see frontend.go). The two
+	// produce bit-identical simulations; the rings survive as the reference
+	// implementation for the identity regression tests, mirroring
+	// LegacyScanIssue and sim.Config's LegacyWalk.
+	LegacyFrontEnd bool
+
+	// StuckCycles is the no-commit cycle count after which Run declares the
+	// machine deadlocked and panics. Zero selects DefaultStuckCycles;
+	// stress harnesses and CI shapes tighten it to fail fast. The threshold
+	// cannot influence a completed simulation's results.
+	StuckCycles int
+
 	Oracle core.Oracle
+}
+
+// DefaultStuckCycles is the deadlock threshold used when Config.StuckCycles
+// is zero.
+const DefaultStuckCycles = 100000
+
+// stuckLimit resolves the configured deadlock threshold.
+func (c *Config) stuckLimit() int {
+	if c.StuckCycles > 0 {
+		return c.StuckCycles
+	}
+	return DefaultStuckCycles
 }
 
 // Default returns the paper's Table 3 configuration at 14 pipeline stages.
@@ -209,6 +235,17 @@ type inst struct {
 	// instruction's result; completion walks it to wake newly-ready
 	// dependents. The backing array survives pool recycling.
 	deps []instRef
+
+	// blockRef caches the store that last blocked this load (event-driven
+	// issue): a stalled load is re-examined every cycle, and while the
+	// cached store is still seq-valid, incomplete, same-address, AND older
+	// than the load it proves the load blocked without walking the store
+	// queue. The fast path re-checks the full predicate (including age:
+	// sequence numbering restarts on Pipeline.Reset, so a stale cached
+	// reference can alias a younger same-seq store from a previous run),
+	// which makes a hit exactly equivalent to finding that store in the
+	// walk — no reset across recycling is needed.
+	blockRef instRef
 
 	issued   bool
 	done     bool
@@ -309,10 +346,22 @@ type Pipeline struct {
 
 	cycle int64
 
-	fetchQ  *ring[*inst]
-	decodeQ *ring[*inst]
+	fetchQ  *ring[*inst] // legacy front end only
+	decodeQ *ring[*inst] // legacy front end only
 	window  *ring[*inst]
 	lsqUsed int
+
+	// Fused front-end delay line (default; Config.LegacyFrontEnd selects the
+	// two-ring reference path above). Whole fetch groups flow through one
+	// instruction ring; decode advances a boundary cursor instead of moving
+	// instructions between queues. See frontend.go for the structure and its
+	// invariants.
+	fusedFront bool
+	frontQ     *ring[*inst]   // the delay line: fetched, undispatched instructions
+	decoded    int            // length of frontQ's decoded prefix (the decode segment)
+	fetchCap   int            // fetch-segment capacity (== legacy fetchQ cap)
+	decodeCap  int            // decode-segment capacity (== legacy decodeQ cap)
+	fetchBuf   []prog.DynInst // scratch for walker NextGroup batches
 
 	regs [isa.NumRegs]*inst // speculative rename table
 
@@ -336,9 +385,13 @@ type Pipeline struct {
 
 	// free is the instruction pool: retired and squashed instructions are
 	// recycled here and handed back out by fetch, so the steady-state cycle
-	// loop allocates nothing. poolAllocs/poolReused instrument it (see
-	// PoolStats).
+	// loop allocates nothing. Fresh instructions are carved from slab in
+	// chunks, so the machine's in-flight population is backed by a few
+	// contiguous arrays instead of scattered heap objects (the pool's
+	// working set is bigger than L1, so adjacency matters).
+	// poolAllocs/poolReused instrument the pool (see PoolStats).
 	free       []*inst
+	slab       []inst
 	poolAllocs uint64
 	poolReused uint64
 
@@ -346,8 +399,11 @@ type Pipeline struct {
 	// FlushTally) folds it into the meter. Counts are integers, so the
 	// deferred flush is bit-identical to a per-cycle flush (see
 	// power.Meter.AddTally) while keeping the per-cycle cost to plain
-	// integer increments.
-	tally [power.NumUnits]uint64
+	// integer increments. wastedTally is the squash-side twin: squash moves
+	// a dead instruction's events here with integer adds instead of one
+	// meter call per touched unit.
+	tally       [power.NumUnits]uint64
+	wastedTally [power.NumUnits]uint64
 
 	// CommitTrace, when set, is invoked for every committed instruction
 	// (diagnostics and tests).
@@ -383,8 +439,13 @@ func New(cfg Config, w *prog.Walker, pred bpred.DirPredictor, est conf.Estimator
 		ras:    bpred.NewRAS(cfg.RASDepth),
 		meter:  meter,
 	}
-	p.fetchQ = newRing[*inst](cfg.FetchStages*cfg.FetchWidth + 2*cfg.FetchWidth)
-	p.decodeQ = newRing[*inst](cfg.DecodeStages*cfg.DecodeWidth + 2*cfg.DecodeWidth)
+	p.fetchCap = cfg.FetchStages*cfg.FetchWidth + 2*cfg.FetchWidth
+	p.decodeCap = cfg.DecodeStages*cfg.DecodeWidth + 2*cfg.DecodeWidth
+	p.fetchQ = newRing[*inst](p.fetchCap)
+	p.decodeQ = newRing[*inst](p.decodeCap)
+	p.fusedFront = !cfg.LegacyFrontEnd
+	p.frontQ = newRing[*inst](p.fetchCap + p.decodeCap)
+	p.fetchBuf = make([]prog.DynInst, cfg.FetchWidth)
 	p.window = newRing[*inst](cfg.WindowSize)
 	p.compQ = make([][]*inst, maxCompLat)
 	for i := range p.compQ {
@@ -417,6 +478,10 @@ func (p *Pipeline) Reset(w *prog.Walker, pred bpred.DirPredictor, est conf.Estim
 	for p.decodeQ.Len() > 0 {
 		p.freeInst(p.decodeQ.PopFront())
 	}
+	for p.frontQ.Len() > 0 {
+		p.freeInst(p.frontQ.PopFront())
+	}
+	p.decoded = 0
 	for p.window.Len() > 0 {
 		p.freeInst(p.window.PopFront())
 	}
@@ -443,6 +508,7 @@ func (p *Pipeline) Reset(w *prog.Walker, pred bpred.DirPredictor, est conf.Estim
 	p.storeQ = p.storeQ[:0]
 	p.barrierQ = p.barrierQ[:0]
 	p.tally = [power.NumUnits]uint64{}
+	p.wastedTally = [power.NumUnits]uint64{}
 	p.flushCount = 0
 	p.Stats = Stats{}
 }
@@ -473,7 +539,11 @@ func (p *Pipeline) allocInst() *inst {
 		return in
 	}
 	p.poolAllocs++
-	in := new(inst)
+	if len(p.slab) == 0 {
+		p.slab = make([]inst, 64)
+	}
+	in := &p.slab[0]
+	p.slab = p.slab[1:]
 	// Pre-size the wakeup list so the common case (a handful of dependents)
 	// never grows it; rare crowded producers grow once and keep the larger
 	// backing array through recycling.
@@ -503,18 +573,19 @@ func (p *Pipeline) Mem() *cache.Hierarchy { return p.mem }
 func (p *Pipeline) Cycle() int64 { return p.cycle }
 
 // Run simulates until n instructions have committed and returns the stats.
-// It panics if the machine deadlocks (a pipeline bug, guarded by tests).
+// It panics if the machine makes no commit progress for Config.StuckCycles
+// cycles (a pipeline deadlock bug, guarded by tests).
 func (p *Pipeline) Run(n uint64) *Stats {
 	lastCommit := p.Stats.Committed
-	stuck := 0
+	stuck, limit := 0, p.cfg.stuckLimit()
 	for p.Stats.Committed < n {
 		p.Step()
 		if p.Stats.Committed == lastCommit {
 			stuck++
-			if stuck > 100000 {
-				panic(fmt.Sprintf("pipe: no commit in 100000 cycles at cycle %d (committed=%d/%d policy=%q window=%d fetchQ=%d decodeQ=%d)",
-					p.cycle, p.Stats.Committed, n, p.ctrl.Policy().Name,
-					p.window.Len(), p.fetchQ.Len(), p.decodeQ.Len()))
+			if stuck > limit {
+				panic(fmt.Sprintf("pipe: no commit in %d cycles at cycle %d (committed=%d/%d policy=%q window=%d fetchQ=%d decodeQ=%d)",
+					limit, p.cycle, p.Stats.Committed, n, p.ctrl.Policy().Name,
+					p.window.Len(), p.frontFetchLen(), p.frontDecodeLen()))
 			}
 		} else {
 			stuck = 0
@@ -525,11 +596,30 @@ func (p *Pipeline) Run(n uint64) *Stats {
 	return &p.Stats
 }
 
-// FlushTally folds the accumulated activity tally into the meter. Run calls
-// it before returning; callers driving Step directly must call it before
-// reading the meter.
+// frontFetchLen reports the fetched-but-undecoded instruction count of the
+// active front end (diagnostics).
+func (p *Pipeline) frontFetchLen() int {
+	if p.fusedFront {
+		return p.fetchSegLen()
+	}
+	return p.fetchQ.Len()
+}
+
+// frontDecodeLen reports the decoded-but-undispatched instruction count of
+// the active front end (diagnostics).
+func (p *Pipeline) frontDecodeLen() int {
+	if p.fusedFront {
+		return p.decoded
+	}
+	return p.decodeQ.Len()
+}
+
+// FlushTally folds the accumulated activity and wasted tallies into the
+// meter. Run calls it before returning; callers driving Step directly must
+// call it before reading the meter.
 func (p *Pipeline) FlushTally() {
 	p.meter.AddTally(&p.tally)
+	p.meter.AddWastedTally(&p.wastedTally)
 }
 
 // Step advances the machine one cycle. Stages run back to front so that
@@ -538,22 +628,29 @@ func (p *Pipeline) Step() {
 	p.commit()
 	p.complete()
 	p.issue()
-	p.dispatch()
-	p.decode()
-	p.fetch()
+	if p.fusedFront {
+		p.dispatchFused()
+		p.decodeFused()
+		p.fetchFused()
+	} else {
+		p.dispatch()
+		p.decode()
+		p.fetch()
+	}
 	p.cycle++
 	p.meter.AddCycle()
 	p.Stats.Cycles++
 }
 
 // note records one activity event on unit u attributed to in. Events land in
-// the per-cycle tally and reach the meter in one flush per Step.
+// the per-cycle tally and reach the meter in one flush per Step. The
+// per-instruction counter needs no saturation guard: every stage notes a
+// unit at most a fixed handful of times (the maximum is three — regfile and
+// window), far below the uint8 range.
 func (p *Pipeline) note(in *inst, u power.Unit) {
 	p.tally[u]++
 	in.evMask |= 1 << uint(u)
-	if in.ev[u] < 255 {
-		in.ev[u]++
-	}
+	in.ev[u]++
 }
 
 // ---------------------------------------------------------------- fetch --
@@ -578,9 +675,19 @@ func (p *Pipeline) fetch() {
 		p.ctrl.NoteGatedCycle()
 		return
 	}
-	if p.fetchQ.Len()+p.cfg.FetchWidth > p.fetchQ.Cap() {
-		p.Stats.FetchIdleBackPressure++
-		return // front-end back-pressure
+	// Back-pressure gates on the capacity actually available, not on a full
+	// FetchWidth group: the walker often supplies fewer than FetchWidth
+	// instructions (taken-branch-truncated groups), so requiring a full
+	// group's worth of free slots both overcounted FetchIdleBackPressure and
+	// idled fetch with room to spare. Fetch proceeds while at least one slot
+	// is free and the group is truncated to the space left.
+	width := p.cfg.FetchWidth
+	if avail := p.fetchQ.Cap() - p.fetchQ.Len(); avail < width {
+		if avail == 0 {
+			p.Stats.FetchIdleBackPressure++
+			return // front-end back-pressure
+		}
+		width = avail
 	}
 
 	// One I-cache access per fetch group; misses delay the group and stall
@@ -593,7 +700,7 @@ func (p *Pipeline) fetch() {
 	}
 
 	taken := 0
-	for slot := 0; slot < p.cfg.FetchWidth; slot++ {
+	for slot := 0; slot < width; slot++ {
 		in := p.allocInst()
 		in.fetchCycle = p.cycle
 		p.walker.Next(&in.d)
@@ -683,6 +790,10 @@ func (p *Pipeline) btbTouch(pc, target uint64) {
 
 func (p *Pipeline) decode() {
 	width := p.cfg.DecodeWidth
+	// Triggers only change at fetch and resolve, so whether any of them
+	// restricts decode is loop-invariant; the common unthrottled case skips
+	// the per-instruction rate scan entirely.
+	throttled := p.ctrl.DecodeThrottled()
 	for n := 0; n < width && p.fetchQ.Len() > 0; n++ {
 		in := p.fetchQ.At(0)
 		if in.enterDecode > p.cycle || p.decodeQ.Full() {
@@ -690,34 +801,42 @@ func (p *Pipeline) decode() {
 		}
 		// Decode throttling applies per instruction: only triggers older
 		// than this instruction restrict it (see core.DecodeRateFor).
-		if rate := p.ctrl.DecodeRateFor(in.d.Seq); !rate.ActiveAt(uint64(p.cycle)) {
-			if n == 0 {
-				p.Stats.DecodeGatedCycles++
+		if throttled {
+			if rate := p.ctrl.DecodeRateFor(in.d.Seq); !rate.ActiveAt(uint64(p.cycle)) {
+				if n == 0 {
+					p.Stats.DecodeGatedCycles++
+				}
+				return
 			}
-			return
 		}
 		if p.cfg.Oracle == core.OracleDecode && in.d.WrongPath {
 			return // limit study: wrong-path instructions stall at decode
 		}
-		in.enterWindow = p.cycle + int64(p.cfg.DecodeStages)
-		// Wattch counts rename, register-file operand reads, and the RUU
-		// entry write at the decode stage (the paper's footnotes 2-3);
-		// instructions squashed after decoding carry this wasted energy.
-		p.note(in, power.UnitRename)
-		p.note(in, power.UnitWindow)
-		if in.d.St.Src1 != isa.RegNone {
-			p.note(in, power.UnitRegfile)
-		}
-		if in.d.St.Src2 != isa.RegNone {
-			p.note(in, power.UnitRegfile)
-		}
-		if in.isMem() {
-			p.note(in, power.UnitLSQ)
-		}
-		if in.d.WrongPath {
-			p.Stats.WrongPathDecoded++
-		}
+		p.decodeOne(in)
 		p.decodeQ.PushBack(p.fetchQ.PopFront())
+	}
+}
+
+// decodeOne performs the per-instruction decode-stage work shared by both
+// front ends: the dispatch-readiness stamp and the decode-stage power events.
+// Wattch counts rename, register-file operand reads, and the RUU entry write
+// at the decode stage (the paper's footnotes 2-3); instructions squashed
+// after decoding carry this wasted energy.
+func (p *Pipeline) decodeOne(in *inst) {
+	in.enterWindow = p.cycle + int64(p.cfg.DecodeStages)
+	p.note(in, power.UnitRename)
+	p.note(in, power.UnitWindow)
+	if in.d.St.Src1 != isa.RegNone {
+		p.note(in, power.UnitRegfile)
+	}
+	if in.d.St.Src2 != isa.RegNone {
+		p.note(in, power.UnitRegfile)
+	}
+	if in.isMem() {
+		p.note(in, power.UnitLSQ)
+	}
+	if in.d.WrongPath {
+		p.Stats.WrongPathDecoded++
 	}
 }
 
@@ -734,70 +853,78 @@ func (p *Pipeline) dispatch() {
 			return
 		}
 		p.decodeQ.PopFront()
+		p.dispatchOne(in)
+	}
+}
 
-		// Rename: bind sources to in-flight producers. The associated
-		// power events were counted at the decode stage. Each bound
-		// producer is by construction incomplete, so registering on its
-		// wakeup list guarantees exactly one completion (or a shared
-		// squash) per bound operand.
-		nsrc := 0
-		if r := in.d.St.Src1; r != isa.RegNone {
-			if prod := p.regs[r]; prod != nil && !prod.done {
-				in.srcs[0] = prod
-				in.srcSeq[0] = prod.d.Seq
-				nsrc = 1
-				if p.eventIssue {
-					prod.deps = append(prod.deps, instRef{in, in.d.Seq})
-				}
+// dispatchOne performs the per-instruction dispatch work shared by both front
+// ends: rename, LSQ/window insertion, barrier capture, and the event-issue
+// bookkeeping. The caller has already removed in from its front-end structure
+// and verified window/LSQ capacity.
+func (p *Pipeline) dispatchOne(in *inst) {
+	// Rename: bind sources to in-flight producers. The associated
+	// power events were counted at the decode stage. Each bound
+	// producer is by construction incomplete, so registering on its
+	// wakeup list guarantees exactly one completion (or a shared
+	// squash) per bound operand.
+	nsrc := 0
+	if r := in.d.St.Src1; r != isa.RegNone {
+		if prod := p.regs[r]; prod != nil && !prod.done {
+			in.srcs[0] = prod
+			in.srcSeq[0] = prod.d.Seq
+			nsrc = 1
+			if p.eventIssue {
+				prod.deps = append(prod.deps, instRef{in, in.d.Seq})
 			}
 		}
-		if r := in.d.St.Src2; r != isa.RegNone {
-			if prod := p.regs[r]; prod != nil && !prod.done {
-				in.srcs[nsrc] = prod
-				in.srcSeq[nsrc] = prod.d.Seq
-				nsrc++
-				if p.eventIssue {
-					prod.deps = append(prod.deps, instRef{in, in.d.Seq})
-				}
+	}
+	if r := in.d.St.Src2; r != isa.RegNone {
+		if prod := p.regs[r]; prod != nil && !prod.done {
+			in.srcs[nsrc] = prod
+			in.srcSeq[nsrc] = prod.d.Seq
+			nsrc++
+			if p.eventIssue {
+				prod.deps = append(prod.deps, instRef{in, in.d.Seq})
 			}
 		}
-		if d := in.d.St.Dest; d != isa.RegNone {
-			p.regs[d] = in
-		}
-		if in.isMem() {
-			p.lsqUsed++
-		}
-		if in.d.WrongPath {
-			p.Stats.WrongPathDispatched++
-		}
-		in.windowCycle = p.cycle
+	}
+	if d := in.d.St.Dest; d != isa.RegNone {
+		p.regs[d] = in
+	}
+	if in.isMem() {
+		p.lsqUsed++
+	}
+	if in.d.WrongPath {
+		p.Stats.WrongPathDispatched++
+	}
+	in.windowCycle = p.cycle
+	in.hasBarrier = false
+	if p.ctrl.HasNoSelect() {
 		if b, ok := p.ctrl.BarrierFor(in.d.Seq); ok {
 			in.barrier = b
 			in.hasBarrier = true
-		} else {
-			in.hasBarrier = false
 		}
-		in.wpos = int32(p.window.backSlot())
-		if p.eventIssue {
-			// Binding only captures incomplete producers, so readiness at
-			// dispatch is exactly "nothing was bound". The slot's previous
-			// occupant left its bit clear, but write both ways so dispatch
-			// re-establishes the bitmap invariant unconditionally.
-			in.nwait = uint8(nsrc)
-			if nsrc == 0 {
-				p.setReady(in)
-			} else {
-				p.clearReady(in)
-			}
-			if in.hasBarrier {
-				p.barrierQ = append(p.barrierQ, instRef{in, in.d.Seq})
-			}
-			if in.d.St.Op == isa.OpStore {
-				p.storeQ = append(p.storeQ, instRef{in, in.d.Seq})
-			}
-		}
-		p.window.PushBack(in)
 	}
+	in.wpos = int32(p.window.backSlot())
+	if p.eventIssue {
+		// Binding only captures incomplete producers, so readiness at
+		// dispatch is exactly "nothing was bound". The slot's previous
+		// occupant left its bit clear, but write both ways so dispatch
+		// re-establishes the bitmap invariant unconditionally.
+		in.nwait = uint8(nsrc)
+		if nsrc == 0 {
+			p.setReady(in)
+		} else {
+			p.clearReady(in)
+		}
+		if in.hasBarrier {
+			p.barrierQ = append(p.barrierQ, instRef{in, in.d.Seq})
+		}
+		if in.d.St.Op == isa.OpStore {
+			p.storeQ = append(p.storeQ, instRef{in, in.d.Seq})
+		}
+	}
+	p.window.PushBack(in)
 }
 
 // ---------------------------------------------------------------- issue --
@@ -964,6 +1091,13 @@ walk:
 // throttling targets). The walk doubles as storeQ's lazy compaction:
 // completed and recycled stores drop out.
 func (p *Pipeline) loadBlocked(ld *inst) bool {
+	// Fast path: the store that blocked this load last time is usually
+	// still pending the next cycle (see inst.blockRef). Every clause of
+	// the walk's predicate is re-checked, age included.
+	if b := ld.blockRef.in; b != nil && b.d.Seq == ld.blockRef.seq &&
+		!b.done && !b.squashed && b.d.Addr == ld.d.Addr && b.d.Seq < ld.d.Seq {
+		return true
+	}
 	blocked := false
 	keep := p.storeQ[:0]
 	for _, e := range p.storeQ {
@@ -974,6 +1108,7 @@ func (p *Pipeline) loadBlocked(ld *inst) bool {
 		keep = append(keep, e)
 		if e.seq < ld.d.Seq && st.d.Addr == ld.d.Addr {
 			blocked = true
+			ld.blockRef = e
 		}
 	}
 	p.storeQ = keep
@@ -1098,7 +1233,11 @@ func (p *Pipeline) wakeDependents(in *inst) {
 func (p *Pipeline) resolve(in *inst) {
 	if in.predTaken == in.d.Taken {
 		p.walker.Release(&in.d)
-		p.ctrl.OnBranchResolved(in.d.Seq)
+		// Resolution only needs the controller when a trigger could be
+		// outstanding; the baseline and untriggered policies skip the scan.
+		if p.ctrl.ActiveTriggers() > 0 {
+			p.ctrl.OnBranchResolved(in.d.Seq)
+		}
 		return
 	}
 	p.flushAfter(in)
@@ -1109,13 +1248,19 @@ func (p *Pipeline) resolve(in *inst) {
 func (p *Pipeline) flushAfter(br *inst) {
 	seq := br.d.Seq
 
-	// The front-end queues only hold instructions younger than anything in
-	// the window: drop them wholesale.
-	for p.fetchQ.Len() > 0 {
-		p.squash(p.fetchQ.PopBack())
-	}
-	for p.decodeQ.Len() > 0 {
-		p.squash(p.decodeQ.PopBack())
+	// The front end only holds instructions younger than anything in the
+	// window: drop it wholesale, youngest first (squash order is observable
+	// through the wasted-power accumulation order and the checkpoint free
+	// list, so both front ends must walk it identically).
+	if p.fusedFront {
+		p.flushFrontFused()
+	} else {
+		for p.fetchQ.Len() > 0 {
+			p.squash(p.fetchQ.PopBack())
+		}
+		for p.decodeQ.Len() > 0 {
+			p.squash(p.decodeQ.PopBack())
+		}
 	}
 	for p.window.Len() > 0 {
 		tail := p.window.At(p.window.Len() - 1)
@@ -1166,8 +1311,10 @@ func (p *Pipeline) flushAfter(br *inst) {
 		p.Stats.ResolveIssueWait += uint64(br.issueCycle - br.windowCycle)
 		p.Stats.TrueFlushes++
 	}
-	p.ctrl.OnSquash(seq)
-	p.ctrl.OnBranchResolved(seq)
+	if p.ctrl.ActiveTriggers() > 0 || p.ctrl.HasNoSelect() {
+		p.ctrl.OnSquash(seq)
+		p.ctrl.OnBranchResolved(seq)
+	}
 	p.pred.OnMispredict(br.cookie, br.d.Taken)
 	p.walker.Recover(&br.d)
 	p.wrongPath = br.d.WrongPath
@@ -1194,14 +1341,17 @@ func (p *Pipeline) squash(in *inst) {
 	}
 	in.squashed = true
 	// A squashed branch will never resolve; return its checkpoint lease to
-	// the walker's arena (no-op for non-branches and resolved branches).
-	p.walker.Release(&in.d)
+	// the walker's arena. The handle check is hoisted here so the common
+	// non-branch squash skips the call.
+	if in.d.Ckpt != prog.NoCkpt {
+		p.walker.Release(&in.d)
+	}
 	if p.fetchHeld && in.d.Seq == p.fetchHeldBySeq {
 		p.fetchHeld = false // defensive: never leave fetch held by a dead branch
 	}
 	for m := in.evMask; m != 0; m &= m - 1 {
-		u := power.Unit(bits.TrailingZeros16(m))
-		p.meter.AddWasted(u, float64(in.ev[u]))
+		u := bits.TrailingZeros16(m)
+		p.wastedTally[u] += uint64(in.ev[u])
 	}
 	if !in.issued || in.done {
 		p.freeInst(in)

@@ -52,28 +52,28 @@ func (r *ring[T]) PushBack(v T) {
 	r.count++
 }
 
-// PopFront removes and returns the oldest element.
+// PopFront removes and returns the oldest element. The vacated slot keeps
+// its stale value (every ring in this package holds pool-owned instruction
+// pointers that outlive the ring, so eager zeroing buys no reclamation and
+// costs a store on the hottest ops); PushBack overwrites it on reuse.
 func (r *ring[T]) PopFront() T {
 	if r.count == 0 {
 		panic("pipe: ring underflow")
 	}
 	v := r.buf[r.head]
-	var zero T
-	r.buf[r.head] = zero
 	r.head = r.wrap(r.head + 1)
 	r.count--
 	return v
 }
 
-// PopBack removes and returns the youngest element.
+// PopBack removes and returns the youngest element (stale-slot behaviour as
+// PopFront).
 func (r *ring[T]) PopBack() T {
 	if r.count == 0 {
 		panic("pipe: ring underflow")
 	}
 	i := r.wrap(r.head + r.count - 1)
 	v := r.buf[i]
-	var zero T
-	r.buf[i] = zero
 	r.count--
 	return v
 }

@@ -192,6 +192,19 @@ func (m *Meter) Reset() { *m = Meter{} }
 // (called when the instruction that caused them is squashed).
 func (m *Meter) AddWasted(u Unit, n float64) { m.Wasted[u] += n }
 
+// AddWastedTally folds an accumulated wasted-event tally into the wasted
+// pool and clears it — the squash-side analogue of AddTally, with the same
+// exactness argument: counts are integers, so batching granularity and
+// accumulation order cannot change the result.
+func (m *Meter) AddWastedTally(tally *[NumUnits]uint64) {
+	for u, n := range tally {
+		if n != 0 {
+			m.Wasted[u] += float64(n)
+			tally[u] = 0
+		}
+	}
+}
+
 // Report is the power/energy outcome of one run.
 type Report struct {
 	Cycles  uint64

@@ -141,6 +141,82 @@ func TestFastWalkerMatchesLegacy(t *testing.T) {
 	}
 }
 
+// TestNextGroupMatchesNext is the randomized identity test for the batched
+// walker entry point: a NextGroup-driven walker and a Next-driven walker,
+// given identical (sometimes wrong) steering and identical recoveries, must
+// produce field-for-field identical instruction streams, agree on NextPC
+// between batches, and park in the same architectural state. Buffer sizes
+// vary per batch so every cut point — mid-block, block boundary, control
+// transfer in any slot — is exercised, in both walker implementations.
+func TestNextGroupMatchesNext(t *testing.T) {
+	for _, legacy := range []bool{false, true} {
+		for _, p := range Profiles() {
+			program := Generate(p)
+			batched := NewWalker(program)
+			ref := NewWalker(program)
+			batched.SetLegacy(legacy)
+			ref.SetLegacy(legacy)
+			rng := xrand.New(0xBA7C4 ^ p.Seed)
+			buf := make([]DynInst, 8)
+			var dr DynInst
+			produced := 0
+			for produced < 20000 {
+				width := 1 + rng.Intn(len(buf))
+				// Zero the records first: fields outside the per-op contract
+				// carry stale values (see the DynInst docs), so equality is
+				// meaningful only when both walkers start from zeroed slots.
+				for i := range buf[:width] {
+					buf[i] = DynInst{}
+				}
+				n := batched.NextGroup(buf[:width])
+				if n < 1 || n > width {
+					t.Fatalf("%s legacy=%v: NextGroup(%d) returned %d", p.Name, legacy, width, n)
+				}
+				for i := 0; i < n; i++ {
+					dr = DynInst{}
+					ref.Next(&dr)
+					if buf[i] != dr {
+						t.Fatalf("%s legacy=%v: stream diverged at %d slot %d:\n group: %+v\n next:  %+v",
+							p.Name, legacy, produced, i, buf[i], dr)
+					}
+					if op := buf[i].St.Op; op.IsControl() && i != n-1 {
+						t.Fatalf("%s legacy=%v: control op %v not last in batch (%d of %d)",
+							p.Name, legacy, op, i, n-1)
+					}
+					produced++
+				}
+				last := buf[n-1]
+				if last.BrID != NoBranch {
+					pred := last.Taken
+					if rng.Bool(0.25) {
+						pred = !pred
+					}
+					batched.Steer(pred)
+					ref.Steer(pred)
+					if pred != last.Taken && rng.Bool(0.5) {
+						// Recover immediately half the time; otherwise walk the
+						// wrong path for a while (the outer loop does that
+						// naturally) and just drop the lease.
+						lb, lr := last, dr
+						batched.Recover(&lb)
+						ref.Recover(&lr)
+					} else {
+						lb, lr := last, dr
+						batched.Release(&lb)
+						ref.Release(&lr)
+					}
+				}
+				if batched.NextPC() != ref.NextPC() {
+					t.Fatalf("%s legacy=%v: NextPC diverged after %d instructions", p.Name, legacy, produced)
+				}
+				if batched.State() != ref.State() {
+					t.Fatalf("%s legacy=%v: walker state diverged after %d instructions", p.Name, legacy, produced)
+				}
+			}
+		}
+	}
+}
+
 // TestWalkerResetReusesArena checks that Reset keeps the arena backing and
 // the legacy flag while rewinding the lease state.
 func TestWalkerResetReusesArena(t *testing.T) {

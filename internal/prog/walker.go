@@ -140,6 +140,16 @@ type Walker struct {
 	ckpts    []WalkState // checkpoint arena; handles index it
 	ckptFree []int32     // free slot handles
 	ckptHW   int         // high-water mark of concurrently leased slots
+
+	// Stable-reference address memo, one slot per Program.MemRefs entry. A
+	// stable (non-wild) site's address is a pure function of its seed and
+	// the 64-branch epoch (BrCount>>6), and sites typically execute many
+	// times per epoch, so the fast paths cache the last (epoch, address)
+	// pair per site instead of rehashing. Keys store epoch+1 so zero means
+	// empty; the memo is exact (same pure function, same inputs) and the
+	// legacy reference path deliberately keeps rehashing every time.
+	memoKey  []uint64
+	memoAddr []uint64
 }
 
 // NewWalker returns a walker positioned at the program entry.
@@ -157,6 +167,15 @@ func NewWalker(p *Program) *Walker {
 // backing arrays (and the legacy-mode flag) survive the reset.
 func (w *Walker) Reset(p *Program) {
 	ckpts, free, legacy, hw := w.ckpts[:0], w.ckptFree[:0], w.legacy, w.ckptHW
+	memoKey, memoAddr := w.memoKey, w.memoAddr
+	if n := len(p.MemRefs); cap(memoKey) < n {
+		memoKey = make([]uint64, n)
+		memoAddr = make([]uint64, n)
+	} else {
+		memoKey = memoKey[:n]
+		memoAddr = memoAddr[:n]
+		clear(memoKey)
+	}
 	*w = Walker{
 		prog:     p,
 		st:       WalkState{Block: p.Entry, Ghist: xrand.Hash64(p.Profile.Seed)},
@@ -164,6 +183,8 @@ func (w *Walker) Reset(p *Program) {
 		ckpts:    ckpts,
 		ckptFree: free,
 		ckptHW:   hw,
+		memoKey:  memoKey,
+		memoAddr: memoAddr,
 	}
 }
 
@@ -191,6 +212,50 @@ func (w *Walker) leaseCkpt() int32 {
 		w.ckptHW = leased
 	}
 	return id
+}
+
+// saveCkpt records the walker's current state into arena slot id. Only the
+// live region of the call-stack ring is copied (normalized to head 0): a
+// WalkState is ~300 bytes of which the ring is ~260, while typical call
+// depths are a handful of frames, so the full-struct copy this replaces was
+// the single most expensive store of the outcome path. The ring's start
+// position is not architectural — push/pop behaviour depends only on the
+// frame sequence and sp — so the normalized copy restores exactly.
+func (w *Walker) saveCkpt(id int32) {
+	c := &w.ckpts[id]
+	c.Block, c.Index = w.st.Block, w.st.Index
+	c.Ghist, c.BrCount = w.st.Ghist, w.st.BrCount
+	c.head, c.sp = 0, w.st.sp
+	n := int(w.st.sp)
+	if h := int(w.st.head); h+n <= CallStackDepth {
+		copy(c.stack[:n], w.st.stack[h:h+n])
+	} else {
+		k := CallStackDepth - h
+		copy(c.stack[:k], w.st.stack[h:])
+		copy(c.stack[k:n], w.st.stack[:n-k])
+	}
+}
+
+// restoreCkpt rewinds the walker to arena slot id (the inverse of saveCkpt;
+// frames beyond sp are left stale, which push/pop can never observe).
+func (w *Walker) restoreCkpt(id int32) {
+	c := &w.ckpts[id]
+	w.st.Block, w.st.Index = c.Block, c.Index
+	w.st.Ghist, w.st.BrCount = c.Ghist, c.BrCount
+	w.st.head, w.st.sp = 0, c.sp
+	copy(w.st.stack[:c.sp], c.stack[:c.sp])
+}
+
+// stableAddr returns the address of stable reference id under the current
+// 64-branch epoch, consulting the per-site memo first (see the memo fields).
+func (w *Walker) stableAddr(mr *MemRef, id int32) uint64 {
+	epoch := w.st.BrCount>>6 + 1
+	if w.memoKey[id] == epoch {
+		return w.memoAddr[id]
+	}
+	a := mr.Base + mr.fold(xrand.Hash2(mr.Seed, w.st.BrCount>>6))
+	w.memoKey[id], w.memoAddr[id] = epoch, a
+	return a
 }
 
 // Release returns a branch's checkpoint lease to the arena free list and
@@ -312,7 +377,7 @@ func (w *Walker) Next(out *DynInst) {
 		// architecturally consistent along whichever path is followed.
 		w.st.Ghist = w.st.Ghist<<1 | b2u(taken)
 		id := w.leaseCkpt()
-		w.ckpts[id] = w.st
+		w.saveCkpt(id)
 		out.Ckpt = id
 		w.pendingSteer = true
 	case st.Op == isa.OpJump:
@@ -352,7 +417,7 @@ func (w *Walker) Next(out *DynInst) {
 			} else {
 				// Slowly moving working set: the address advances
 				// only every 64 branches, so repeated executions hit.
-				out.Addr = mr.Base + mr.fold(xrand.Hash2(mr.Seed, w.st.BrCount>>6))
+				out.Addr = w.stableAddr(mr, id)
 			}
 		}
 	}
@@ -369,6 +434,139 @@ func (w *Walker) Next(out *DynInst) {
 			w.st.Index = 0
 			m = &p.meta[w.st.Block]
 		}
+	}
+}
+
+// NextGroup produces a batch of consecutive dynamic instructions into out and
+// returns how many were written (at least 1 for a non-empty out). The batch
+// ends when out is full or directly after a control-transfer instruction
+// (branch, jump, call, return), so the control op — if any — is always the
+// last element. A terminating conditional branch leaves the walker pending
+// exactly like Next: the caller must Steer before the next NextGroup/Next.
+//
+// The produced stream is bit-identical to the same number of Next calls (the
+// randomized fastpath tests pin this); batching exists so a fetch stage can
+// amortize the per-call overhead — the pending/legacy checks, the block
+// metadata loads, and the fall-through chase — over a whole straight-line
+// run, which is what makes fused fetch groups (internal/pipe) pay off.
+func (w *Walker) NextGroup(out []DynInst) int {
+	if len(out) == 0 {
+		return 0
+	}
+	if w.pendingSteer {
+		panic("prog: NextGroup called with a pending Steer")
+	}
+	if w.legacy {
+		// Reference form: one nextLegacy per slot, same stopping rule.
+		n := 0
+		for n < len(out) {
+			w.nextLegacy(&out[n])
+			n++
+			if out[n-1].St.Op.IsControl() {
+				break
+			}
+		}
+		return n
+	}
+	p := w.prog
+	m := &p.meta[w.st.Block]
+	n := 0
+	for n < len(out) {
+		// Head chase: advance through exhausted blocks. Mid-batch this
+		// replaces Next's per-instruction fall-through chain — an exhausted
+		// block reachable here always has an OpNop terminator (a control
+		// terminator would have steered the walker away), so the two
+		// traversals visit exactly the same blocks.
+		for w.st.Index >= int(m.n) {
+			w.st.Block = int(m.succ0)
+			w.st.Index = 0
+			m = &p.meta[w.st.Block]
+		}
+		idx := w.st.Index
+		off := int(m.off) + idx
+		st := p.code[off]
+		o := &out[n]
+		o.Seq = w.seq
+		o.PC = m.base + uint64(idx)*InstBytes
+		o.St = st
+		o.BrID = NoBranch
+		o.Ckpt = NoCkpt
+		w.seq++
+		w.st.Index++
+		n++
+
+		switch {
+		case st.Op == isa.OpBranch:
+			br := &p.Branches[m.brID]
+			taken := br.outcome(w.st.Ghist, w.st.BrCount)
+			w.st.BrCount++
+			o.BrID = m.brID
+			o.Taken = taken
+			o.TakenPC = m.takenBase
+			o.FallPC = m.fallBase
+			w.st.Ghist = w.st.Ghist<<1 | b2u(taken)
+			id := w.leaseCkpt()
+			w.saveCkpt(id)
+			o.Ckpt = id
+			w.pendingSteer = true
+			return n
+		case st.Op == isa.OpJump:
+			o.TakenPC = m.takenBase
+			o.Taken = true
+			w.st.Block = int(m.succ1)
+			w.st.Index = 0
+			w.chainFallThrough()
+			return n
+		case st.Op == isa.OpCall:
+			o.TakenPC = m.takenBase
+			o.FallPC = m.fallBase
+			o.Taken = true
+			w.st.push(int(m.succ0))
+			w.st.Block = int(m.succ1)
+			w.st.Index = 0
+			w.chainFallThrough()
+			return n
+		case st.Op == isa.OpReturn:
+			target, ok := w.st.pop()
+			if !ok {
+				target = p.Entry
+			}
+			o.TakenPC = p.meta[target].base
+			o.Taken = true
+			w.st.Block = target
+			w.st.Index = 0
+			w.chainFallThrough()
+			return n
+		case st.Op.IsMem():
+			if id := p.memIDs[off]; id >= 0 {
+				mr := &p.MemRefs[id]
+				if mr.Wild {
+					o.Addr = mr.Base + mr.fold(xrand.Hash3(mr.Seed, w.st.Ghist, w.st.BrCount))
+				} else {
+					o.Addr = w.stableAddr(mr, id)
+				}
+			}
+		}
+	}
+	// Buffer filled on a non-control instruction: resolve any fall-through
+	// chain so the walker parks in the same state a Next sequence would
+	// (NextPC and State observe it).
+	w.chainFallThrough()
+	return n
+}
+
+// chainFallThrough advances the walker through exhausted fall-through blocks
+// (Next's per-instruction tail chain) so the next PC is correct for
+// fetch-group formation.
+func (w *Walker) chainFallThrough() {
+	m := &w.prog.meta[w.st.Block]
+	for w.st.Index >= int(m.n) && m.term == isa.OpNop {
+		if m.succ0 == NoBlock {
+			return
+		}
+		w.st.Block = int(m.succ0)
+		w.st.Index = 0
+		m = &w.prog.meta[w.st.Block]
 	}
 }
 
@@ -403,7 +601,7 @@ func (w *Walker) nextLegacy(out *DynInst) {
 		out.FallPC = w.prog.Blocks[blk.Succ[0]].Base
 		w.st.Ghist = w.st.Ghist<<1 | b2u(taken)
 		id := w.leaseCkpt()
-		w.ckpts[id] = w.st
+		w.saveCkpt(id)
 		out.Ckpt = id
 		w.pendingSteer = true
 	case st.Op == isa.OpJump:
@@ -478,7 +676,7 @@ func (w *Walker) Recover(d *DynInst) {
 	if d.Ckpt == NoCkpt {
 		panic("prog: Recover on a branch whose checkpoint was released")
 	}
-	w.st = w.ckpts[d.Ckpt]
+	w.restoreCkpt(d.Ckpt)
 	w.Release(d)
 	w.pendingSteer = true
 	w.Steer(d.Taken)

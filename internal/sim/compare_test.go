@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// TestCompareEdgeCases pins the degenerate-denominator behaviour: zero or
+// non-finite baseline quantities must produce well-defined zeros, never
+// NaN/Inf that would leak into figure output.
+func TestCompareEdgeCases(t *testing.T) {
+	mk := func(seconds, power, energy, ed float64) Result {
+		return Result{Seconds: seconds, AvgPower: power, Energy: energy, EDelay: ed}
+	}
+	cases := []struct {
+		name    string
+		base, x Result
+		want    Comparison
+	}{
+		{
+			name: "normal",
+			base: mk(2, 50, 100, 200),
+			x:    mk(1, 25, 50, 100),
+			want: Comparison{Speedup: 2, PowerSaving: 50, EnergySaving: 50, EDImprovement: 50},
+		},
+		{
+			name: "zero-experiment-time",
+			base: mk(2, 50, 100, 200),
+			x:    mk(0, 25, 50, 100),
+			want: Comparison{Speedup: 0, PowerSaving: 50, EnergySaving: 50, EDImprovement: 50},
+		},
+		{
+			name: "zero-baseline",
+			base: mk(0, 0, 0, 0),
+			x:    mk(1, 40, 50, 100),
+			want: Comparison{Speedup: 0, PowerSaving: 0, EnergySaving: 0, EDImprovement: 0},
+		},
+		{
+			name: "both-zero",
+			base: mk(0, 0, 0, 0),
+			x:    mk(0, 0, 0, 0),
+			want: Comparison{Speedup: 0, PowerSaving: 0, EnergySaving: 0, EDImprovement: 0},
+		},
+		{
+			name: "nonfinite-baseline",
+			base: mk(math.NaN(), math.Inf(1), math.NaN(), math.Inf(-1)),
+			x:    mk(1, 40, 50, 100),
+			want: Comparison{Speedup: 0, PowerSaving: 0, EnergySaving: 0, EDImprovement: 0},
+		},
+		{
+			name: "nonfinite-experiment",
+			base: mk(2, 50, 100, 200),
+			x:    mk(math.NaN(), math.NaN(), math.Inf(1), math.Inf(-1)),
+			want: Comparison{Speedup: 0, PowerSaving: 0, EnergySaving: 0, EDImprovement: 0},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Compare(tc.base, tc.x)
+			for _, v := range []float64{got.Speedup, got.PowerSaving, got.EnergySaving, got.EDImprovement} {
+				if !finite(v) {
+					t.Fatalf("non-finite metric leaked: %+v", got)
+				}
+			}
+			got.Benchmark = ""
+			if got != tc.want {
+				t.Errorf("Compare = %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestAverageComparisonEdgeCases pins empty input and non-finite-entry
+// filtering: an empty slice yields zeros, and a poisoned cell is excluded
+// per metric instead of turning the whole average into NaN.
+func TestAverageComparisonEdgeCases(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		got := AverageComparison(nil)
+		want := Comparison{Benchmark: "average"}
+		if got != want {
+			t.Errorf("AverageComparison(nil) = %+v, want zeros", got)
+		}
+	})
+	t.Run("normal-mean", func(t *testing.T) {
+		got := AverageComparison([]Comparison{
+			{Speedup: 1, PowerSaving: 10, EnergySaving: 20, EDImprovement: 30},
+			{Speedup: 3, PowerSaving: 30, EnergySaving: 40, EDImprovement: 50},
+		})
+		want := Comparison{Benchmark: "average", Speedup: 2, PowerSaving: 20, EnergySaving: 30, EDImprovement: 40}
+		if got != want {
+			t.Errorf("AverageComparison = %+v, want %+v", got, want)
+		}
+	})
+	t.Run("poisoned-cell-excluded", func(t *testing.T) {
+		got := AverageComparison([]Comparison{
+			{Speedup: 1, PowerSaving: 10, EnergySaving: 20, EDImprovement: 30},
+			{Speedup: math.NaN(), PowerSaving: math.Inf(1), EnergySaving: 40, EDImprovement: math.Inf(-1)},
+			{Speedup: 3, PowerSaving: 30, EnergySaving: math.NaN(), EDImprovement: 50},
+		})
+		want := Comparison{Benchmark: "average", Speedup: 2, PowerSaving: 20, EnergySaving: 30, EDImprovement: 40}
+		if got != want {
+			t.Errorf("AverageComparison = %+v, want %+v", got, want)
+		}
+	})
+	t.Run("all-poisoned", func(t *testing.T) {
+		got := AverageComparison([]Comparison{{Speedup: math.NaN()}})
+		if !finite(got.Speedup) || got.Speedup != 0 {
+			t.Errorf("all-poisoned average = %+v, want zero", got)
+		}
+	})
+}

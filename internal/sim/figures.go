@@ -16,6 +16,12 @@ type Options struct {
 	PredBytes    int // 0 = 8 KB
 	ConfBytes    int // 0 = 8 KB
 	Profiles     []prog.Profile
+
+	// LegacyFrontEnd runs every simulation on the two-ring reference front
+	// end instead of the fused delay line (diagnostics; output must be
+	// byte-identical — the identity tests and the commands' flag exist to
+	// prove exactly that).
+	LegacyFrontEnd bool
 }
 
 // withDefaults fills unset options with paper-baseline values.
@@ -45,6 +51,7 @@ func (o Options) withDefaults() Options {
 func (o Options) baseConfig() Config {
 	cfg := Default()
 	cfg.Pipe.SetDepth(o.Depth)
+	cfg.Pipe.LegacyFrontEnd = o.LegacyFrontEnd
 	cfg.PredBytes = o.PredBytes
 	cfg.ConfBytes = o.ConfBytes
 	cfg.Instructions = o.Instructions

@@ -118,6 +118,112 @@ func TestFastWalkMatchesLegacyAllPolicies(t *testing.T) {
 	}
 }
 
+// runWithFrontEndMode executes cfg/profile with the chosen front-end
+// implementation and strips the mode flag from the result's Config so the
+// two modes compare equal on everything observable.
+func runWithFrontEndMode(cfg Config, p prog.Profile, legacy bool) Result {
+	cfg.Pipe.LegacyFrontEnd = legacy
+	res := NewRunner().Run(cfg, p)
+	res.Config.Pipe.LegacyFrontEnd = false
+	return res
+}
+
+// The fused front-end delay line (batched fetch groups, cursor-advanced
+// decode/dispatch) must be indistinguishable from the two-ring reference it
+// replaced: same instruction stream, same back-pressure and idle accounting,
+// same squash order (observable through the wasted-power accumulation
+// order), same cache and predictor evolution. Result is comparable, so == is
+// a bit-level check across all of it.
+
+func TestFusedFrontEndMatchesLegacyAllProfiles(t *testing.T) {
+	cfg := Default()
+	cfg.Instructions = 12000
+	cfg.Warmup = 3000
+	c2 := BestExperiment()
+	for _, p := range prog.Profiles() {
+		for _, e := range []Experiment{{ID: "baseline", Policy: core.Baseline(), Estimator: EstBPRU}, c2} {
+			ecfg := e.Apply(cfg)
+			if got, want := runWithFrontEndMode(ecfg, p, false), runWithFrontEndMode(ecfg, p, true); got != want {
+				t.Errorf("%s/%s: fused front end diverged from two-ring reference", p.Name, e.ID)
+			}
+		}
+	}
+}
+
+func TestFusedFrontEndMatchesLegacyAllPolicies(t *testing.T) {
+	cfg := Default()
+	cfg.Instructions = 10000
+	cfg.Warmup = 2500
+	for _, name := range []string{"go", "gzip", "twolf"} {
+		p, _ := prog.ProfileByName(name)
+		for _, e := range identityPolicies() {
+			ecfg := e.Apply(cfg)
+			if got, want := runWithFrontEndMode(ecfg, p, false), runWithFrontEndMode(ecfg, p, true); got != want {
+				t.Errorf("%s/%s: fused front end diverged from two-ring reference", name, e.ID)
+			}
+		}
+	}
+}
+
+func TestFusedFrontEndMatchesLegacyStressShapes(t *testing.T) {
+	// Structural corner cases for the front end: minimum and maximum pipe
+	// depths (1-stage and 12-stage fetch/decode pipes), narrow fetch with
+	// wide decode and vice versa (groups straddling the decode boundary for
+	// many cycles), single-taken-per-cycle truncation (short groups), a tiny
+	// window (constant back-pressure into the delay line), and a decode
+	// width below the fetch width (every group drains over multiple cycles).
+	p, _ := prog.ProfileByName("go")
+	shapes := []func(*Config){
+		func(c *Config) { c.Pipe.SetDepth(6) },
+		func(c *Config) { c.Pipe.SetDepth(28) },
+		func(c *Config) { c.Pipe.FetchWidth = 4 },
+		func(c *Config) { c.Pipe.DecodeWidth = 2 },
+		func(c *Config) { c.Pipe.FetchWidth = 8; c.Pipe.DecodeWidth = 3; c.Pipe.IssueWidth = 5 },
+		func(c *Config) { c.Pipe.MaxTakenPerCycle = 1 },
+		func(c *Config) { c.Pipe.WindowSize = 16; c.Pipe.LSQSize = 8 },
+	}
+	for i, shape := range shapes {
+		cfg := BestExperiment().Apply(Default())
+		cfg.Instructions = 8000
+		cfg.Warmup = 2000
+		cfg.Pipe.StuckCycles = 20000 // fail fast if a shape wedges the machine
+		shape(&cfg)
+		if got, want := runWithFrontEndMode(cfg, p, false), runWithFrontEndMode(cfg, p, true); got != want {
+			t.Errorf("shape %d: fused front end diverged from two-ring reference", i)
+		}
+	}
+}
+
+// TestFrontEndWalkerModeCross pins all four combinations of the front-end
+// and walker implementations to one result: the fused front end must work
+// identically over both walker fast paths (NextGroup has a legacy-walker
+// form too), and no pairing may drift from the all-legacy reference.
+func TestFrontEndWalkerModeCross(t *testing.T) {
+	p, _ := prog.ProfileByName("twolf")
+	cfg := BestExperiment().Apply(Default())
+	cfg.Instructions = 10000
+	cfg.Warmup = 2500
+	var ref Result
+	for i, mode := range []struct{ frontEnd, walk bool }{
+		{true, true}, {true, false}, {false, true}, {false, false},
+	} {
+		c := cfg
+		c.Pipe.LegacyFrontEnd = mode.frontEnd
+		c.LegacyWalk = mode.walk
+		res := NewRunner().Run(c, p)
+		res.Config.Pipe.LegacyFrontEnd = false
+		res.Config.LegacyWalk = false
+		if i == 0 {
+			ref = res
+			continue
+		}
+		if res != ref {
+			t.Errorf("front-end/walker combination legacyFE=%v legacyWalk=%v diverged from all-legacy reference",
+				mode.frontEnd, mode.walk)
+		}
+	}
+}
+
 func TestEventIssueMatchesScanStressShapes(t *testing.T) {
 	// Structural corner cases: deep pipe (long latencies, wheel clamping),
 	// tiny window (constant back-pressure, constant flushes), perfect

@@ -8,6 +8,7 @@ import (
 
 	"selthrottle/internal/conf"
 	"selthrottle/internal/core"
+	"selthrottle/internal/pipe"
 	"selthrottle/internal/prog"
 )
 
@@ -66,6 +67,14 @@ func NewResultCache() *ResultCache {
 // default).
 func canonicalConfig(cfg Config) Config {
 	cfg.Policy.Name = ""
+	// The zero deadlock threshold and its explicit default are the same
+	// machine, so they share one entry. Other values keep distinct entries:
+	// a tightened threshold changes abort semantics (a stress run expects
+	// its fail-fast panic even when a laxer run of the same point already
+	// completed and was cached).
+	if cfg.Pipe.StuckCycles == pipe.DefaultStuckCycles {
+		cfg.Pipe.StuckCycles = 0
+	}
 	if cfg.Policy.Gating {
 		cfg.Policy.ByClass = [conf.NumClasses]core.Spec{}
 	} else {

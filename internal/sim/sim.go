@@ -37,6 +37,7 @@
 package sim
 
 import (
+	"math"
 	"runtime"
 	"sync"
 
@@ -360,37 +361,80 @@ type Comparison struct {
 	EDImprovement float64 // percent
 }
 
-// Compare computes the headline metrics of x against base.
+// ratio returns a/b, or 0 when the quotient is undefined (zero or
+// non-finite operands). Degenerate runs — zero measured cycles, zero energy
+// — must yield well-defined zeros rather than NaN/Inf that would leak into
+// figure output and poison every average they touch.
+func ratio(a, b float64) float64 {
+	if b == 0 || math.IsNaN(b) || math.IsInf(b, 0) || math.IsNaN(a) || math.IsInf(a, 0) {
+		return 0
+	}
+	return a / b
+}
+
+// savingPct returns the percent saving of x against base (100*(1 - x/base)),
+// or 0 when either operand is zero-denominator-degenerate or non-finite (a
+// zero-cycle run reports NaN/Inf average power; the saving against or of
+// such a run is defined as 0, never NaN/Inf).
+func savingPct(base, x float64) float64 {
+	if base == 0 || math.IsNaN(base) || math.IsInf(base, 0) || math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return 100 * (1 - x/base)
+}
+
+// Compare computes the headline metrics of x against base. Zero-baseline
+// denominators produce well-defined zeros, never NaN/Inf.
 func Compare(base, x Result) Comparison {
 	return Comparison{
 		Benchmark:     x.Benchmark,
-		Speedup:       base.Seconds / x.Seconds,
-		PowerSaving:   100 * (1 - x.AvgPower/base.AvgPower),
-		EnergySaving:  100 * (1 - x.Energy/base.Energy),
-		EDImprovement: 100 * (1 - x.EDelay/base.EDelay),
+		Speedup:       ratio(base.Seconds, x.Seconds),
+		PowerSaving:   savingPct(base.AvgPower, x.AvgPower),
+		EnergySaving:  savingPct(base.Energy, x.Energy),
+		EDImprovement: savingPct(base.EDelay, x.EDelay),
 	}
 }
 
 // AverageComparison averages metrics across benchmarks (arithmetic mean of
-// percentages and of the speedup ratio, matching the paper's "Average" bars).
+// percentages and of the speedup ratio, matching the paper's "Average"
+// bars). An empty slice yields a zero Comparison, and non-finite entries —
+// which can only come from degenerate runs — are excluded per metric so one
+// poisoned cell cannot turn a whole figure row into NaN.
 func AverageComparison(cs []Comparison) Comparison {
-	if len(cs) == 0 {
-		return Comparison{Benchmark: "average"}
-	}
-	var out Comparison
-	out.Benchmark = "average"
+	out := Comparison{Benchmark: "average"}
+	var speedup, power, energy, ed mean
 	for _, c := range cs {
-		out.Speedup += c.Speedup
-		out.PowerSaving += c.PowerSaving
-		out.EnergySaving += c.EnergySaving
-		out.EDImprovement += c.EDImprovement
+		speedup.add(c.Speedup)
+		power.add(c.PowerSaving)
+		energy.add(c.EnergySaving)
+		ed.add(c.EDImprovement)
 	}
-	n := float64(len(cs))
-	out.Speedup /= n
-	out.PowerSaving /= n
-	out.EnergySaving /= n
-	out.EDImprovement /= n
+	out.Speedup = speedup.value()
+	out.PowerSaving = power.value()
+	out.EnergySaving = energy.value()
+	out.EDImprovement = ed.value()
 	return out
+}
+
+// mean accumulates finite samples only.
+type mean struct {
+	sum float64
+	n   int
+}
+
+func (m *mean) add(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	m.sum += v
+	m.n++
+}
+
+func (m *mean) value() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.sum / float64(m.n)
 }
 
 // RunAll executes a configuration across profiles on the shared worker pool
