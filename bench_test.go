@@ -256,6 +256,42 @@ func BenchmarkFrontEnd(b *testing.B) {
 	}
 }
 
+// BenchmarkSquashHeavy isolates the power-attribution machinery on the shape
+// where it dominates: the highest-misprediction profile on the deepest pipe
+// (28 stages) with a doubled instruction window (256 entries, as in
+// BenchmarkIssueStage), so every flush squashes the largest possible
+// population of in-flight work and moves its accumulated events to the
+// wasted pool. The sub-benchmarks run the same configuration through the
+// epoch ledgers (whole squashed epochs fold in O(epochs x units)) and
+// through the legacy per-instruction event tables they replaced (one table
+// walk per squashed instruction). The two are bit-identical in results; the
+// identity tests enforce it.
+func BenchmarkSquashHeavy(b *testing.B) {
+	prev := sim.SetResultCaching(false)
+	defer sim.SetResultCaching(prev)
+	for _, mode := range []struct {
+		name   string
+		legacy bool
+	}{{"epoch", false}, {"legacy", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			profile, _ := prog.ProfileByName("go")
+			cfg := sim.Default()
+			cfg.Pipe.SetDepth(28)
+			cfg.Pipe.WindowSize = 256
+			cfg.Pipe.LSQSize = 128
+			cfg.Pipe.LegacyEventLedger = mode.legacy
+			cfg.Instructions = 24000
+			cfg.Warmup = 6000
+			sim.Run(cfg, profile)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sim.Run(cfg, profile)
+			}
+		})
+	}
+}
+
 // BenchmarkWalkerNext isolates the workload walker — the single hottest
 // function of the cycle loop — on the highest-misprediction profile,
 // comparing the fast path (integer outcome thresholds, flat blockMeta

@@ -6,6 +6,7 @@
 //
 //	hpca03 -exp <experiment> [-n instructions] [-warmup instructions]
 //	       [-depth stages] [-kb totalKB] [-bench name]
+//	       [-legacyfrontend] [-legacyledger]
 //	       [-cpuprofile file] [-memprofile file]
 //
 // Experiments:
@@ -56,6 +57,7 @@ func run() int {
 	bench := flag.String("bench", "", "restrict to a comma-separated list of benchmarks")
 	verbose := flag.Bool("v", false, "print the process-wide result-cache reuse summary at exit")
 	legacyFront := flag.Bool("legacyfrontend", false, "simulate on the two-ring reference front end (diagnostics; output is byte-identical)")
+	legacyLedger := flag.Bool("legacyledger", false, "simulate on the per-instruction power-attribution reference instead of the epoch ledgers (diagnostics; output is byte-identical)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -98,12 +100,13 @@ func run() int {
 	}
 
 	opts := sim.Options{
-		Instructions:   *n,
-		Warmup:         *warmup,
-		Depth:          *depth,
-		PredBytes:      *kb * 1024 / 2,
-		ConfBytes:      *kb * 1024 / 2,
-		LegacyFrontEnd: *legacyFront,
+		Instructions:      *n,
+		Warmup:            *warmup,
+		Depth:             *depth,
+		PredBytes:         *kb * 1024 / 2,
+		ConfBytes:         *kb * 1024 / 2,
+		LegacyFrontEnd:    *legacyFront,
+		LegacyEventLedger: *legacyLedger,
 	}
 	if *bench != "" {
 		var ps []prog.Profile

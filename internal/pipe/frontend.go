@@ -52,7 +52,7 @@ func (p *Pipeline) fetchSegLen() int { return p.frontQ.Len() - p.decoded }
 // steered at exactly the point the per-instruction loop would have reached
 // it.
 func (p *Pipeline) fetchFused() {
-	dbg := p.DebugFetchLo < p.DebugFetchHi && p.cycle >= p.DebugFetchLo && p.cycle < p.DebugFetchHi
+	dbg := p.dbgFetchArmed && p.cycle >= p.dbgFetchLo && p.cycle < p.dbgFetchHi
 	if p.fetchHeld || p.cycle < p.fetchResumeAt {
 		if dbg {
 			fmt.Printf("  f@%d held=%v resumeAt=%d\n", p.cycle, p.fetchHeld, p.fetchResumeAt)
@@ -96,9 +96,11 @@ func (p *Pipeline) fetchFused() {
 	taken, n := 0, 0
 	for n < width {
 		k := p.walker.NextGroup(p.fetchBuf[:width-n])
-		// The wrong-path flag is constant across the batch: only the
-		// batch-terminating control transfer can change it, below.
+		// The wrong-path flag and the speculation epoch are constant across
+		// the batch: only the batch-terminating control transfer can change
+		// either, below.
 		wrong := p.wrongPath
+		epoch := p.curEpoch
 		var in *inst
 		for i := 0; i < k; i++ {
 			in = p.allocInst()
@@ -106,10 +108,16 @@ func (p *Pipeline) fetchFused() {
 			in.fetchCycle = p.cycle
 			in.d.WrongPath = wrong
 			in.enterDecode = enterDecode
-			in.evMask |= 1 << uint(power.UnitICache)
-			in.ev[power.UnitICache]++
+			in.epoch = epoch
+			if p.legacyLedger {
+				in.lev.ev[power.UnitICache]++
+				in.lev.mask |= 1 << uint(power.UnitICache)
+			}
 			p.frontQ.PushBack(in)
 		}
+		// One ledger add and one tally add per group: every member shares
+		// the epoch, and integer sums make the batching exact.
+		p.epochBuf[epoch].led[power.UnitICache] += uint32(k)
 		p.tally[power.UnitICache] += uint64(k)
 		p.Stats.Fetched += uint64(k)
 		if wrong {
@@ -160,10 +168,15 @@ func (p *Pipeline) decodeFused() {
 	// the per-instruction rate scan entirely.
 	throttled := p.ctrl.DecodeThrottled()
 	oracleDecode := p.cfg.Oracle == core.OracleDecode
+	// The cycle's decode events reach the run tally as one batched add per
+	// unit after the loop (integer counts, so batching is exact); the
+	// per-epoch ledger adds stay per instruction because a decode group can
+	// span epochs.
+	var decN, regN, lsqN uint64
 	for n := 0; n < width && p.decoded < p.frontQ.Len(); n++ {
 		in := p.frontQ.At(p.decoded)
 		if in.enterDecode > p.cycle || p.decoded >= p.decodeCap {
-			return
+			break
 		}
 		// Decode throttling applies per instruction: only triggers older
 		// than this instruction restrict it (see core.DecodeRateFor).
@@ -172,11 +185,11 @@ func (p *Pipeline) decodeFused() {
 				if n == 0 {
 					p.Stats.DecodeGatedCycles++
 				}
-				return
+				break
 			}
 		}
 		if oracleDecode && in.d.WrongPath {
-			return // limit study: wrong-path instructions stall at decode
+			break // limit study: wrong-path instructions stall at decode
 		}
 		// Per-instruction decode work, mirroring decodeOne (the legacy
 		// stage's form). Deliberate duplication: the body is beyond the
@@ -185,22 +198,54 @@ func (p *Pipeline) decodeFused() {
 		// accounting tests pin the two copies to each other on every
 		// profile, policy, width, and depth.
 		in.enterWindow = p.cycle + int64(p.cfg.DecodeStages)
-		p.note(in, power.UnitRename)
-		p.note(in, power.UnitWindow)
+		op := in.d.St.Op
+		in.fuKind = uint8(op.FU())
+		in.execLat = int16(op.Latency() + p.cfg.ExtraExecLat)
+		in.memOp = op.IsMem()
+		in.loadOp = op == isa.OpLoad
+		in.storeOp = op == isa.OpStore
+		led := &p.epochBuf[in.epoch].led
+		led[power.UnitRename]++
+		led[power.UnitWindow]++
+		decN++
+		regs := uint32(0)
 		if in.d.St.Src1 != isa.RegNone {
-			p.note(in, power.UnitRegfile)
+			regs++
 		}
 		if in.d.St.Src2 != isa.RegNone {
-			p.note(in, power.UnitRegfile)
+			regs++
 		}
-		if in.isMem() {
-			p.note(in, power.UnitLSQ)
+		if regs > 0 {
+			led[power.UnitRegfile] += regs
+			regN += uint64(regs)
+		}
+		if in.memOp {
+			led[power.UnitLSQ]++
+			lsqN++
+		}
+		if p.legacyLedger {
+			lv := in.lev
+			lv.ev[power.UnitRename]++
+			lv.ev[power.UnitWindow]++
+			lv.mask |= 1<<uint(power.UnitRename) | 1<<uint(power.UnitWindow)
+			if regs > 0 {
+				lv.ev[power.UnitRegfile] += uint8(regs)
+				lv.mask |= 1 << uint(power.UnitRegfile)
+			}
+			if in.memOp {
+				lv.ev[power.UnitLSQ]++
+				lv.mask |= 1 << uint(power.UnitLSQ)
+			}
 		}
 		if in.d.WrongPath {
 			p.Stats.WrongPathDecoded++
 		}
 		p.decoded++
 	}
+	p.tally[power.UnitRename] += decN
+	p.tally[power.UnitWindow] += decN
+	p.tally[power.UnitRegfile] += regN
+	p.tally[power.UnitLSQ] += lsqN
 }
 
 // ------------------------------------------------------------- dispatch --
@@ -273,7 +318,7 @@ func (p *Pipeline) dispatchFused() {
 			if in.hasBarrier {
 				p.barrierQ = append(p.barrierQ, instRef{in, in.d.Seq})
 			}
-			if in.d.St.Op == isa.OpStore {
+			if in.storeOp {
 				p.storeQ = append(p.storeQ, instRef{in, in.d.Seq})
 			}
 		}

@@ -2,8 +2,11 @@ package pipe
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 
 	"selthrottle/internal/isa"
+	"selthrottle/internal/power"
 	"selthrottle/internal/prog"
 )
 
@@ -28,6 +31,15 @@ import (
 //     branch holds exactly one arena lease, nothing else holds any, and the
 //     walker's leased count matches — i.e. resolution, squash, and recovery
 //     can never leak (or double-free) a checkpoint slot.
+//  8. Epoch-ledger accounting (see ledger.go): the open-epoch ring is
+//     ordered by opening sequence number, the cached current-epoch and
+//     retirement triggers match the ring, and every in-flight instruction
+//     is bound to the open epoch whose span covers its sequence number.
+//     Under LegacyEventLedger the check is exact: the sum of the open
+//     ledgers must equal, per unit, the summed per-instruction event tables
+//     of the in-flight instructions — i.e. epoch folding at squash and
+//     recycling at retirement can never gain or lose an event relative to
+//     the per-instruction reference.
 func (p *Pipeline) CheckInvariants() error {
 	// 1 + 2: window order and LSQ accounting.
 	var prev uint64
@@ -201,6 +213,106 @@ func (p *Pipeline) CheckInvariants() error {
 	}
 	if leased, _, _ := p.walker.CkptStats(); leased != leases {
 		return fmt.Errorf("walker reports %d leased checkpoints, pipeline holds %d", leased, leases)
+	}
+
+	// 8: epoch-ledger accounting.
+	return p.checkEpochs()
+}
+
+// checkEpochs validates the speculation-epoch ring and, under the legacy
+// attribution scheme, the exact live-ledger accounting (invariant 8).
+func (p *Pipeline) checkEpochs() error {
+	if p.epochCount < 1 {
+		return fmt.Errorf("no open epoch")
+	}
+	if int(p.epochCount) > len(p.epochBuf) {
+		return fmt.Errorf("epoch ring holds %d of %d slots", p.epochCount, len(p.epochBuf))
+	}
+	if want := p.epochSlot(p.epochCount - 1); p.curEpoch != want {
+		return fmt.Errorf("curEpoch %d, youngest open slot is %d", p.curEpoch, want)
+	}
+	wantRetire := int64(math.MaxInt64)
+	if p.epochCount > 1 {
+		wantRetire = p.epochBuf[p.epochSlot(1)].openSeq
+	}
+	if p.nextRetire != wantRetire {
+		return fmt.Errorf("nextRetire %d, ring implies %d", p.nextRetire, wantRetire)
+	}
+	// pos maps a ring slot to its open-epoch position (-1 = not open), and
+	// the walk checks the age ordering.
+	pos := make([]int32, len(p.epochBuf))
+	for i := range pos {
+		pos[i] = -1
+	}
+	prev := int64(math.MinInt64)
+	for i := int32(0); i < p.epochCount; i++ {
+		slot := p.epochSlot(i)
+		e := &p.epochBuf[slot]
+		if i > 0 && e.openSeq <= prev {
+			return fmt.Errorf("epoch ring out of order at %d: openSeq %d after %d", i, e.openSeq, prev)
+		}
+		prev = e.openSeq
+		pos[slot] = i
+	}
+
+	// Every in-flight instruction must be bound to the open epoch whose
+	// span covers its sequence number; under the legacy scheme, accumulate
+	// the per-instruction event tables for the exact ledger cross-check.
+	var want [power.NumUnits]uint64
+	checkInst := func(in *inst) error {
+		if in.epoch < 0 || int(in.epoch) >= len(p.epochBuf) || pos[in.epoch] < 0 {
+			return fmt.Errorf("seq %d bound to epoch slot %d, which is not open", in.d.Seq, in.epoch)
+		}
+		i := pos[in.epoch]
+		if open := p.epochBuf[in.epoch].openSeq; int64(in.d.Seq) <= open {
+			return fmt.Errorf("seq %d not younger than its epoch's opening seq %d", in.d.Seq, open)
+		}
+		if i+1 < p.epochCount {
+			if next := p.epochBuf[p.epochSlot(i+1)].openSeq; int64(in.d.Seq) > next {
+				return fmt.Errorf("seq %d younger than its epoch's closing seq %d", in.d.Seq, next)
+			}
+		}
+		if p.legacyLedger {
+			for m := in.lev.mask; m != 0; m &= m - 1 {
+				u := bits.TrailingZeros16(m)
+				want[u] += uint64(in.lev.ev[u])
+			}
+		}
+		return nil
+	}
+	checkRing := func(q *ring[*inst]) error {
+		for i := 0; i < q.Len(); i++ {
+			if err := checkInst(q.At(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if p.fusedFront {
+		if err := checkRing(p.frontQ); err != nil {
+			return err
+		}
+	} else {
+		if err := checkRing(p.fetchQ); err != nil {
+			return err
+		}
+		if err := checkRing(p.decodeQ); err != nil {
+			return err
+		}
+	}
+	if err := checkRing(p.window); err != nil {
+		return err
+	}
+	if p.legacyLedger {
+		var got [power.NumUnits]uint64
+		for i := int32(0); i < p.epochCount; i++ {
+			for u, n := range p.epochBuf[p.epochSlot(i)].led {
+				got[u] += uint64(n)
+			}
+		}
+		if got != want {
+			return fmt.Errorf("open ledgers hold %v, in-flight instructions hold %v", got, want)
+		}
 	}
 	return nil
 }

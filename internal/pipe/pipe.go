@@ -119,6 +119,15 @@ type Config struct {
 	// LegacyScanIssue and sim.Config's LegacyWalk.
 	LegacyFrontEnd bool
 
+	// LegacyEventLedger selects the historical per-instruction power
+	// attribution (a per-unit event table on every in-flight instruction,
+	// folded into the wasted pool one instruction at a time on squash)
+	// instead of the per-speculation-epoch ledgers (see ledger.go). The two
+	// produce bit-identical simulations; the per-instruction scheme survives
+	// as the reference implementation for the identity regression tests,
+	// the established pattern of LegacyScanIssue/LegacyFrontEnd/LegacyWalk.
+	LegacyEventLedger bool
+
 	// StuckCycles is the no-commit cycle count after which Run declares the
 	// machine deadlocked and panics. Zero selects DefaultStuckCycles;
 	// stress harnesses and CI shapes tighten it to fail fast. The threshold
@@ -251,15 +260,35 @@ type inst struct {
 	done     bool
 	squashed bool
 
+	// fuKind, execLat, and the memory-op flags cache the static
+	// instruction's functional-unit class, execution latency (base latency
+	// plus the configured ExtraExecLat), and load/store classification,
+	// written once at decode so the issue, execute, dispatch, and commit
+	// stages stop re-deriving them from the opcode tables on every visit —
+	// a ready instruction skipped for structural reasons is re-examined
+	// every cycle. Valid from decode onward (no earlier stage reads them).
+	fuKind  uint8
+	execLat int16
+	memOp   bool // isa.Op.IsMem()
+	loadOp  bool // == isa.OpLoad
+	storeOp bool // == isa.OpStore
+
 	fetchCycle  int64 // diagnostics: when fetched
 	windowCycle int64 // diagnostics: when dispatched into the window
 	issueCycle  int64 // diagnostics: when issued
 
-	// Per-unit activity attribution (moved to the wasted pool on squash).
-	// evMask flags the units with nonzero counts so squash walks only the
-	// handful of touched units instead of the whole table.
-	ev     [power.NumUnits]uint8
-	evMask uint16
+	// epoch is the ring slot of the speculation epoch this instruction was
+	// fetched in (see ledger.go); every activity event the instruction
+	// causes is attributed to that epoch's ledger. Slots are stable while an
+	// epoch is open, and an instruction can never touch its ledger after the
+	// epoch closes (fold implies this instruction was squashed; retirement
+	// implies it committed).
+	epoch int32
+
+	// lev is the legacy per-instruction event table, allocated and
+	// maintained only under Config.LegacyEventLedger; nil and untouched on
+	// the fast path. Like deps, the allocation survives pool recycling.
+	lev *instEv
 }
 
 // instRef is a pool-safe reference to a dynamic instruction: the pointer is
@@ -270,8 +299,11 @@ type instRef struct {
 	seq uint64
 }
 
-func (in *inst) isMem() bool  { return in.d.St.Op.IsMem() }
-func (in *inst) isLoad() bool { return in.d.St.Op == isa.OpLoad }
+// isMem/isLoad read the classification cached at decode; like fuKind and
+// execLat they are meaningful from decode onward, and every caller (dispatch,
+// issue, complete, commit, window flush) runs after decode.
+func (in *inst) isMem() bool  { return in.memOp }
+func (in *inst) isLoad() bool { return in.loadOp }
 
 // ready reports whether all source operands are available. A producer whose
 // sequence number no longer matches the one captured at rename has committed
@@ -399,11 +431,26 @@ type Pipeline struct {
 	// FlushTally) folds it into the meter. Counts are integers, so the
 	// deferred flush is bit-identical to a per-cycle flush (see
 	// power.Meter.AddTally) while keeping the per-cycle cost to plain
-	// integer increments. wastedTally is the squash-side twin: squash moves
-	// a dead instruction's events here with integer adds instead of one
-	// meter call per touched unit.
+	// integer increments. wastedTally is the squash-side twin: flushAfter
+	// folds the squashed epochs' ledgers here with integer adds (or, under
+	// LegacyEventLedger, squash moves each dead instruction's events here
+	// one instruction at a time).
 	tally       [power.NumUnits]uint64
 	wastedTally [power.NumUnits]uint64
+
+	// Speculation-epoch ledgers (see ledger.go): a ring of open epochs in
+	// age order. curEpoch is the youngest epoch's slot (the one fetch binds
+	// new instructions to); nextRetire caches the oldest epoch's closing
+	// sequence number so commit's retirement check is one compare.
+	// legacyLedger mirrors cfg.LegacyEventLedger (hot-loop copy); under it
+	// the ledgers are shadow bookkeeping cross-checked by CheckInvariants.
+	epochBuf     []epochRec
+	epochHead    int32
+	epochCount   int32
+	curEpoch     int32
+	nextRetire   int64
+	epochHW      int
+	legacyLedger bool
 
 	// CommitTrace, when set, is invoked for every committed instruction
 	// (diagnostics and tests).
@@ -413,8 +460,12 @@ type Pipeline struct {
 	// flush with the given label prefix (development diagnostics).
 	DebugFlushes string
 
-	// DebugFetchLo/Hi bound a cycle window with verbose fetch logging.
-	DebugFetchLo, DebugFetchHi int64
+	// Verbose-fetch debug window, set via SetDebugFetchWindow. dbgFetchArmed
+	// is the hoisted gate the per-cycle fetch paths test: in the (default)
+	// disarmed state the hot loop pays one predictable bool check instead of
+	// re-deriving the window's validity and range every cycle.
+	dbgFetchLo, dbgFetchHi int64
+	dbgFetchArmed          bool
 
 	flushCount int // counts true flushes for DebugFlushes selection
 
@@ -457,7 +508,17 @@ func New(cfg Config, w *prog.Walker, pred bpred.DirPredictor, est conf.Estimator
 	p.unexecStores = make([]uint64, 0, cfg.LSQSize)
 	p.eventIssue = !cfg.LegacyScanIssue
 	p.readyMask = make([]uint64, (p.window.Cap()+63)/64)
+	p.legacyLedger = cfg.LegacyEventLedger
+	p.initEpochs(p.fetchCap + p.decodeCap + cfg.WindowSize + 2)
 	return p
+}
+
+// SetDebugFetchWindow enables verbose fetch logging for cycles in [lo, hi)
+// (development diagnostics; lo >= hi disarms it). The armed flag is
+// precomputed here so the per-cycle fetch paths check a single bool.
+func (p *Pipeline) SetDebugFetchWindow(lo, hi int64) {
+	p.dbgFetchLo, p.dbgFetchHi = lo, hi
+	p.dbgFetchArmed = lo < hi
 }
 
 // Reset rewinds the pipeline to its just-constructed state and rebinds its
@@ -509,6 +570,7 @@ func (p *Pipeline) Reset(w *prog.Walker, pred bpred.DirPredictor, est conf.Estim
 	p.barrierQ = p.barrierQ[:0]
 	p.tally = [power.NumUnits]uint64{}
 	p.wastedTally = [power.NumUnits]uint64{}
+	p.resetEpochs()
 	p.flushCount = 0
 	p.Stats = Stats{}
 }
@@ -521,10 +583,11 @@ func (p *Pipeline) Reset(w *prog.Walker, pred bpred.DirPredictor, est conf.Estim
 // Recycling resets only the fields a reader could see before a writer: the
 // lifecycle flags, the source bindings (dispatch binds at most two and the
 // rest must read as nil), the barrier flag (dispatch writes both arms), and
-// the activity counters. Everything else is written before it is read on
-// every path — d by Next, prediction state by fetchCondBranch for every
-// branch (the only readers), enter/timing fields by their stages — so a full
-// struct zero (several cache lines per instruction) buys nothing.
+// — under the legacy attribution scheme only — the per-instruction event
+// table. Everything else is written before it is read on every path — d by
+// Next, the epoch binding and prediction state by fetch (the only readers),
+// enter/timing fields and the fuKind/execLat cache by their stages — so a
+// full struct zero (several cache lines per instruction) buys nothing.
 func (p *Pipeline) allocInst() *inst {
 	if n := len(p.free) - 1; n >= 0 {
 		in := p.free[n]
@@ -533,8 +596,9 @@ func (p *Pipeline) allocInst() *inst {
 		in.srcs[0], in.srcs[1] = nil, nil
 		in.issued, in.done, in.squashed = false, false, false
 		in.hasBarrier = false
-		in.ev = [power.NumUnits]uint8{}
-		in.evMask = 0
+		if p.legacyLedger {
+			*in.lev = instEv{}
+		}
 		p.poolReused++
 		return in
 	}
@@ -546,8 +610,12 @@ func (p *Pipeline) allocInst() *inst {
 	p.slab = p.slab[1:]
 	// Pre-size the wakeup list so the common case (a handful of dependents)
 	// never grows it; rare crowded producers grow once and keep the larger
-	// backing array through recycling.
+	// backing array through recycling. The legacy event table likewise
+	// persists through recycling (and is never allocated on the fast path).
 	in.deps = make([]instRef, 0, 8)
+	if p.legacyLedger {
+		in.lev = new(instEv)
+	}
 	return in
 }
 
@@ -642,21 +710,10 @@ func (p *Pipeline) Step() {
 	p.Stats.Cycles++
 }
 
-// note records one activity event on unit u attributed to in. Events land in
-// the per-cycle tally and reach the meter in one flush per Step. The
-// per-instruction counter needs no saturation guard: every stage notes a
-// unit at most a fixed handful of times (the maximum is three — regfile and
-// window), far below the uint8 range.
-func (p *Pipeline) note(in *inst, u power.Unit) {
-	p.tally[u]++
-	in.evMask |= 1 << uint(u)
-	in.ev[u]++
-}
-
 // ---------------------------------------------------------------- fetch --
 
 func (p *Pipeline) fetch() {
-	dbg := p.DebugFetchLo < p.DebugFetchHi && p.cycle >= p.DebugFetchLo && p.cycle < p.DebugFetchHi
+	dbg := p.dbgFetchArmed && p.cycle >= p.dbgFetchLo && p.cycle < p.dbgFetchHi
 	if p.fetchHeld || p.cycle < p.fetchResumeAt {
 		if dbg {
 			fmt.Printf("  f@%d held=%v resumeAt=%d\n", p.cycle, p.fetchHeld, p.fetchResumeAt)
@@ -706,6 +763,7 @@ func (p *Pipeline) fetch() {
 		p.walker.Next(&in.d)
 		in.d.WrongPath = p.wrongPath
 		in.enterDecode = p.cycle + int64(p.cfg.FetchStages) + extra
+		in.epoch = p.curEpoch
 		p.note(in, power.UnitICache)
 		if slot == 0 && l2 {
 			p.note(in, power.UnitDCache2)
@@ -745,6 +803,12 @@ func (p *Pipeline) fetch() {
 // fetchCondBranch predicts and steers a conditional branch; it returns true
 // when the fetch group must end (oracle-fetch hold or BTB-miss redirect).
 func (p *Pipeline) fetchCondBranch(in *inst, taken *int) bool {
+	// The branch closes the current speculation epoch (it is that epoch's
+	// youngest member — in.epoch is already bound) and opens the next one;
+	// everything fetched behind it is squashed iff the branch or an older
+	// one flushes. This mirrors the checkpoint lease the walker just issued
+	// for the same branch, but with an independent lifetime (see ledger.go).
+	p.openEpoch(int64(in.d.Seq))
 	predTaken, ctr, cookie := p.pred.Predict(in.d.PC)
 	in.predTaken = predTaken
 	in.cookie = cookie
@@ -818,12 +882,20 @@ func (p *Pipeline) decode() {
 }
 
 // decodeOne performs the per-instruction decode-stage work shared by both
-// front ends: the dispatch-readiness stamp and the decode-stage power events.
-// Wattch counts rename, register-file operand reads, and the RUU entry write
-// at the decode stage (the paper's footnotes 2-3); instructions squashed
-// after decoding carry this wasted energy.
+// front ends: the dispatch-readiness stamp, the functional-unit/latency
+// cache (so the issue and execute stages stop consulting the opcode tables
+// on every visit), and the decode-stage power events. Wattch counts rename,
+// register-file operand reads, and the RUU entry write at the decode stage
+// (the paper's footnotes 2-3); instructions squashed after decoding carry
+// this wasted energy.
 func (p *Pipeline) decodeOne(in *inst) {
 	in.enterWindow = p.cycle + int64(p.cfg.DecodeStages)
+	op := in.d.St.Op
+	in.fuKind = uint8(op.FU())
+	in.execLat = int16(op.Latency() + p.cfg.ExtraExecLat)
+	in.memOp = op.IsMem()
+	in.loadOp = op == isa.OpLoad
+	in.storeOp = op == isa.OpStore
 	p.note(in, power.UnitRename)
 	p.note(in, power.UnitWindow)
 	if in.d.St.Src1 != isa.RegNone {
@@ -832,7 +904,7 @@ func (p *Pipeline) decodeOne(in *inst) {
 	if in.d.St.Src2 != isa.RegNone {
 		p.note(in, power.UnitRegfile)
 	}
-	if in.isMem() {
+	if in.memOp {
 		p.note(in, power.UnitLSQ)
 	}
 	if in.d.WrongPath {
@@ -920,7 +992,7 @@ func (p *Pipeline) dispatchOne(in *inst) {
 		if in.hasBarrier {
 			p.barrierQ = append(p.barrierQ, instRef{in, in.d.Seq})
 		}
-		if in.d.St.Op == isa.OpStore {
+		if in.storeOp {
 			p.storeQ = append(p.storeQ, instRef{in, in.d.Seq})
 		}
 	}
@@ -960,7 +1032,7 @@ func (p *Pipeline) startExecution(in *inst) {
 	p.note(in, power.UnitWindow) // operand read at issue
 	p.note(in, power.UnitALU)
 
-	lat := in.d.St.Op.Latency() + p.cfg.ExtraExecLat
+	lat := int(in.execLat) // opcode latency + ExtraExecLat, cached at decode
 	if in.isLoad() {
 		dlat, l2 := p.mem.DataAccess(in.d.Addr, p.cycle)
 		lat += dlat
@@ -969,7 +1041,7 @@ func (p *Pipeline) startExecution(in *inst) {
 		if l2 {
 			p.note(in, power.UnitDCache2)
 		}
-	} else if in.d.St.Op == isa.OpStore {
+	} else if in.storeOp {
 		p.note(in, power.UnitLSQ) // address insertion
 	}
 	if lat < 1 {
@@ -1040,7 +1112,7 @@ walk:
 				// functional-unit one first is unobservable — and once the
 				// memory ports are spent it spares every remaining ready
 				// load its store-queue walk.
-				kind := in.d.St.Op.FU()
+				kind := in.fuKind // cached at decode
 				if fu[kind] == 0 {
 					continue
 				}
@@ -1139,7 +1211,7 @@ func (p *Pipeline) issueScan() {
 		return false
 	}
 	noteStore := func(in *inst) {
-		if in.d.St.Op == isa.OpStore && !in.done {
+		if in.storeOp && !in.done {
 			p.unexecStores = append(p.unexecStores, in.d.Addr)
 		}
 	}
@@ -1165,7 +1237,7 @@ func (p *Pipeline) issueScan() {
 		if blockedLoad(in) {
 			continue
 		}
-		kind := in.d.St.Op.FU()
+		kind := in.fuKind // cached at decode
 		if fu[kind] == 0 {
 			noteStore(in)
 			continue
@@ -1183,6 +1255,14 @@ func (p *Pipeline) complete() {
 	slot := p.cycle % maxCompLat
 	finishing := p.compQ[slot]
 	p.compQ[slot] = finishing[:0]
+	if len(finishing) == 0 {
+		return
+	}
+	// The slot's window result writes and result-bus broadcasts reach the
+	// run tally as one batched add each (integer counts, so batching is
+	// exact — the AddTally argument); epoch attribution stays per
+	// instruction because one completion slot can span epochs.
+	var winN, rbN uint64
 	for _, in := range finishing {
 		if in.squashed {
 			// A squashed in-flight instruction is referenced only by its
@@ -1191,9 +1271,21 @@ func (p *Pipeline) complete() {
 			continue
 		}
 		in.done = true
-		p.note(in, power.UnitWindow) // result write / tag broadcast
-		if in.d.St.Dest != isa.RegNone {
-			p.note(in, power.UnitResultBus)
+		winN++ // result write / tag broadcast
+		led := &p.epochBuf[in.epoch].led
+		led[power.UnitWindow]++
+		hasDest := in.d.St.Dest != isa.RegNone
+		if hasDest {
+			rbN++
+			led[power.UnitResultBus]++
+		}
+		if p.legacyLedger {
+			in.lev.ev[power.UnitWindow]++
+			in.lev.mask |= 1 << uint(power.UnitWindow)
+			if hasDest {
+				in.lev.ev[power.UnitResultBus]++
+				in.lev.mask |= 1 << uint(power.UnitResultBus)
+			}
 		}
 		if p.eventIssue {
 			p.wakeDependents(in)
@@ -1202,6 +1294,8 @@ func (p *Pipeline) complete() {
 			p.resolve(in)
 		}
 	}
+	p.tally[power.UnitWindow] += winN
+	p.tally[power.UnitResultBus] += rbN
 }
 
 // wakeDependents flags every registered consumer whose operands became
@@ -1311,6 +1405,11 @@ func (p *Pipeline) flushAfter(br *inst) {
 		p.Stats.ResolveIssueWait += uint64(br.issueCycle - br.windowCycle)
 		p.Stats.TrueFlushes++
 	}
+	// Every squashed instruction belongs to an epoch opened at or after the
+	// flushing branch; fold those ledgers into the wasted pool wholesale and
+	// open a fresh epoch for the post-recovery fetch stream (see ledger.go).
+	p.foldEpochs(int64(seq))
+
 	if p.ctrl.ActiveTriggers() > 0 || p.ctrl.HasNoSelect() {
 		p.ctrl.OnSquash(seq)
 		p.ctrl.OnBranchResolved(seq)
@@ -1332,9 +1431,12 @@ func (in *inst) Lifecycle() (fetch, window, issue int64, pc uint64) {
 // Srcs exposes producer instructions for diagnostics.
 func (in *inst) Srcs() [2]*inst { return in.srcs }
 
-// squash marks an instruction dead, moves its activity to the wasted pool,
-// and recycles it unless the completion wheel still references it (issued
-// but not finished — complete() recycles those when their slot comes up).
+// squash marks an instruction dead and recycles it unless the completion
+// wheel still references it (issued but not finished — complete() recycles
+// those when their slot comes up). Its accumulated activity reaches the
+// wasted pool through the epoch fold in flushAfter (every squash happens
+// under a flush); only the legacy attribution scheme moves the events here,
+// one instruction at a time.
 func (p *Pipeline) squash(in *inst) {
 	if in.squashed {
 		return
@@ -1349,9 +1451,11 @@ func (p *Pipeline) squash(in *inst) {
 	if p.fetchHeld && in.d.Seq == p.fetchHeldBySeq {
 		p.fetchHeld = false // defensive: never leave fetch held by a dead branch
 	}
-	for m := in.evMask; m != 0; m &= m - 1 {
-		u := bits.TrailingZeros16(m)
-		p.wastedTally[u] += uint64(in.ev[u])
+	if p.legacyLedger {
+		for m := in.lev.mask; m != 0; m &= m - 1 {
+			u := bits.TrailingZeros16(m)
+			p.wastedTally[u] += uint64(in.lev.ev[u])
+		}
 	}
 	if !in.issued || in.done {
 		p.freeInst(in)
@@ -1381,7 +1485,7 @@ func (p *Pipeline) commit() {
 				p.regs[d] = nil
 			}
 		}
-		if in.d.St.Op == isa.OpStore {
+		if in.storeOp {
 			_, l2 := p.mem.DataAccess(in.d.Addr, p.cycle)
 			p.note(in, power.UnitDCache)
 			if l2 {
@@ -1401,6 +1505,23 @@ func (p *Pipeline) commit() {
 			if !correct {
 				p.Stats.Mispredicts++
 			}
+		}
+		if p.legacyLedger {
+			// Shadow-ledger maintenance: drop the committed instruction's
+			// events from its epoch's ledger, so the open ledgers keep
+			// tracking exactly the in-flight members (the cross-check
+			// CheckInvariants enforces against the per-instruction tables).
+			led := &p.epochBuf[in.epoch].led
+			for m := in.lev.mask; m != 0; m &= m - 1 {
+				u := bits.TrailingZeros16(m)
+				led[u] -= uint32(in.lev.ev[u])
+			}
+		}
+		// Committing an epoch's closing branch retires the epoch: all its
+		// members have committed, so its ledger can recycle (one compare
+		// against the cached trigger in the common case).
+		if int64(in.d.Seq) >= p.nextRetire {
+			p.retireEpochs(int64(in.d.Seq))
 		}
 		p.Stats.Committed++
 		// Retired: recycle. Younger consumers may still hold pointers to it;

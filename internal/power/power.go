@@ -167,7 +167,11 @@ type Meter struct {
 // AddCycle advances time by one cycle.
 func (m *Meter) AddCycle() { m.Cycles++ }
 
-// Add records n activity events on unit u.
+// Add records n activity events on unit u. Add is the per-event path kept
+// for tests and calibration checks only: the simulator's hot loop feeds the
+// meter exclusively through AddTally/AddWastedTally (the pipeline's batched
+// integer tallies and epoch-ledger folds), which are bit-identical to
+// per-event calls by the exactness argument on AddTally.
 func (m *Meter) Add(u Unit, n float64) { m.Events[u] += n }
 
 // AddTally folds an accumulated event tally into the totals and clears it.
@@ -188,8 +192,9 @@ func (m *Meter) AddTally(tally *[NumUnits]uint64) {
 // next run without reallocation.
 func (m *Meter) Reset() { *m = Meter{} }
 
-// AddWasted moves n already-recorded events of unit u into the wasted pool
-// (called when the instruction that caused them is squashed).
+// AddWasted moves n already-recorded events of unit u into the wasted pool.
+// Like Add, it is the test-only per-event path; squash-time attribution
+// reaches the meter through AddWastedTally.
 func (m *Meter) AddWasted(u Unit, n float64) { m.Wasted[u] += n }
 
 // AddWastedTally folds an accumulated wasted-event tally into the wasted

@@ -120,6 +120,17 @@ type DynInst struct {
 // footprint is bounded by the machine's in-flight branch capacity and the
 // free list recycles slots without allocating; CkptStats probes this the way
 // pipe.PoolStats probes the instruction pool.
+//
+// The lease marks the start of a speculation epoch: the pipeline opens a
+// power-attribution epoch (pipe's epoch ledgers) for every conditional
+// branch at the same moment Next issues its checkpoint handle, and a flush
+// that consumes a checkpoint via Recover also folds the epochs the squashed
+// wrong path opened. The two lifetimes deliberately diverge afterwards —
+// a lease dies at resolution (the branch can no longer need recovery), while
+// the branch's epoch must survive until its members have all committed,
+// because an older unresolved branch can still squash them — which is why
+// the epoch ring is the pipeline's own arena rather than a field of the
+// checkpoint slot.
 type Walker struct {
 	prog *Program
 	st   WalkState

@@ -22,6 +22,11 @@ type Options struct {
 	// byte-identical — the identity tests and the commands' flag exist to
 	// prove exactly that).
 	LegacyFrontEnd bool
+
+	// LegacyEventLedger runs every simulation on the per-instruction power
+	// attribution reference instead of the epoch ledgers (diagnostics;
+	// output must be byte-identical, like LegacyFrontEnd).
+	LegacyEventLedger bool
 }
 
 // withDefaults fills unset options with paper-baseline values.
@@ -52,6 +57,7 @@ func (o Options) baseConfig() Config {
 	cfg := Default()
 	cfg.Pipe.SetDepth(o.Depth)
 	cfg.Pipe.LegacyFrontEnd = o.LegacyFrontEnd
+	cfg.Pipe.LegacyEventLedger = o.LegacyEventLedger
 	cfg.PredBytes = o.PredBytes
 	cfg.ConfBytes = o.ConfBytes
 	cfg.Instructions = o.Instructions

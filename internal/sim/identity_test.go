@@ -224,6 +224,112 @@ func TestFrontEndWalkerModeCross(t *testing.T) {
 	}
 }
 
+// runWithLedgerMode executes cfg/profile with the chosen power-attribution
+// implementation and strips the mode flag from the result's Config so the
+// two modes compare equal on everything observable.
+func runWithLedgerMode(cfg Config, p prog.Profile, legacy bool) Result {
+	cfg.Pipe.LegacyEventLedger = legacy
+	res := NewRunner().Run(cfg, p)
+	res.Config.Pipe.LegacyEventLedger = false
+	return res
+}
+
+// The epoch-ledger power attribution (per-speculation-epoch event tallies,
+// folded wholesale into the wasted pool at flush) must be indistinguishable
+// from the per-instruction reference it replaced: identical per-unit useful
+// and wasted event totals — and therefore identical energies — on every
+// profile, policy, and structural shape. Result is comparable, so == is a
+// bit-level check across all of it.
+
+func TestEpochLedgerMatchesLegacyAllProfiles(t *testing.T) {
+	cfg := Default()
+	cfg.Instructions = 12000
+	cfg.Warmup = 3000
+	c2 := BestExperiment()
+	for _, p := range prog.Profiles() {
+		for _, e := range []Experiment{{ID: "baseline", Policy: core.Baseline(), Estimator: EstBPRU}, c2} {
+			ecfg := e.Apply(cfg)
+			if got, want := runWithLedgerMode(ecfg, p, false), runWithLedgerMode(ecfg, p, true); got != want {
+				t.Errorf("%s/%s: epoch ledger diverged from per-instruction reference", p.Name, e.ID)
+			}
+		}
+	}
+}
+
+func TestEpochLedgerMatchesLegacyAllPolicies(t *testing.T) {
+	cfg := Default()
+	cfg.Instructions = 10000
+	cfg.Warmup = 2500
+	for _, name := range []string{"go", "gzip", "twolf"} {
+		p, _ := prog.ProfileByName(name)
+		for _, e := range identityPolicies() {
+			ecfg := e.Apply(cfg)
+			if got, want := runWithLedgerMode(ecfg, p, false), runWithLedgerMode(ecfg, p, true); got != want {
+				t.Errorf("%s/%s: epoch ledger diverged from per-instruction reference", name, e.ID)
+			}
+		}
+	}
+}
+
+func TestEpochLedgerMatchesLegacyStressShapes(t *testing.T) {
+	// Shapes that stress the epoch machinery specifically: the deepest pipe
+	// (maximal squash depth and recovery traffic), a tiny window (constant
+	// flushes, epochs folding every few cycles), narrow widths (epochs
+	// straddling the decode boundary for many cycles), single-taken
+	// truncation (many short fetch groups per epoch), and the minimum depth
+	// (commit chasing fetch closely, epochs retiring almost immediately).
+	p, _ := prog.ProfileByName("go")
+	shapes := []func(*Config){
+		func(c *Config) { c.Pipe.SetDepth(28) },
+		func(c *Config) { c.Pipe.SetDepth(6) },
+		func(c *Config) { c.Pipe.WindowSize = 16; c.Pipe.LSQSize = 8 },
+		func(c *Config) { c.Pipe.FetchWidth = 4; c.Pipe.DecodeWidth = 2 },
+		func(c *Config) { c.Pipe.FetchWidth = 8; c.Pipe.DecodeWidth = 3; c.Pipe.IssueWidth = 5 },
+		func(c *Config) { c.Pipe.MaxTakenPerCycle = 1 },
+	}
+	for i, shape := range shapes {
+		cfg := BestExperiment().Apply(Default())
+		cfg.Instructions = 8000
+		cfg.Warmup = 2000
+		cfg.Pipe.StuckCycles = 20000 // fail fast if a shape wedges the machine
+		shape(&cfg)
+		if got, want := runWithLedgerMode(cfg, p, false), runWithLedgerMode(cfg, p, true); got != want {
+			t.Errorf("shape %d: epoch ledger diverged from per-instruction reference", i)
+		}
+	}
+}
+
+// TestLedgerFrontEndModeCross pins all four combinations of the attribution
+// and front-end implementations to one result: the epoch ledgers must fold
+// identically under both front ends' squash orders (hpca03 exposes the same
+// cross through -legacyledger x -legacyfrontend), and no pairing may drift
+// from the all-legacy reference.
+func TestLedgerFrontEndModeCross(t *testing.T) {
+	p, _ := prog.ProfileByName("twolf")
+	cfg := BestExperiment().Apply(Default())
+	cfg.Instructions = 10000
+	cfg.Warmup = 2500
+	var ref Result
+	for i, mode := range []struct{ frontEnd, ledger bool }{
+		{true, true}, {true, false}, {false, true}, {false, false},
+	} {
+		c := cfg
+		c.Pipe.LegacyFrontEnd = mode.frontEnd
+		c.Pipe.LegacyEventLedger = mode.ledger
+		res := NewRunner().Run(c, p)
+		res.Config.Pipe.LegacyFrontEnd = false
+		res.Config.Pipe.LegacyEventLedger = false
+		if i == 0 {
+			ref = res
+			continue
+		}
+		if res != ref {
+			t.Errorf("front-end/ledger combination legacyFE=%v legacyLedger=%v diverged from all-legacy reference",
+				mode.frontEnd, mode.ledger)
+		}
+	}
+}
+
 func TestEventIssueMatchesScanStressShapes(t *testing.T) {
 	// Structural corner cases: deep pipe (long latencies, wheel clamping),
 	// tiny window (constant back-pressure, constant flushes), perfect
