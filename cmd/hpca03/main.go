@@ -121,7 +121,20 @@ func run() int {
 		opts.Profiles = ps
 	}
 
-	switch *exp {
+	// Guard converts a fail-fast *pipe.RunError panic (a table or reference
+	// run hitting a terminal simulator failure) into a diagnostic snapshot
+	// on stderr and a nonzero exit, instead of a raw panic trace killing the
+	// process mid-report; supervised figure grids isolate failures per point
+	// and report them via runFigure below.
+	return sim.Guard(os.Stderr, "hpca03", func() int { return dispatch(*exp, *id, opts) })
+}
+
+// dispatch runs the selected experiment(s), returning the process exit code:
+// 0 on full success, 1 when any supervised grid point failed, 2 on usage
+// errors.
+func dispatch(exp, id string, opts sim.Options) int {
+	failed := 0
+	switch exp {
 	case "table1":
 		runTable1(opts)
 	case "table2":
@@ -129,34 +142,36 @@ func run() int {
 	case "table3":
 		sim.WriteTable3(os.Stdout, sim.Default())
 	case "fig1":
-		runFigure("Figure 1: oracle fetch/decode/select", sim.OracleExperiments(), opts)
+		failed += runFigure("Figure 1: oracle fetch/decode/select", sim.OracleExperiments(), opts)
 	case "fig3":
-		runFigure("Figure 3: fetch throttling", sim.FetchExperiments(), opts)
+		failed += runFigure("Figure 3: fetch throttling", sim.FetchExperiments(), opts)
 	case "fig4":
-		runFigure("Figure 4: decode throttling", sim.DecodeExperiments(), opts)
+		failed += runFigure("Figure 4: decode throttling", sim.DecodeExperiments(), opts)
 	case "fig5":
-		runFigure("Figure 5: selection throttling", sim.SelectionExperiments(), opts)
+		failed += runFigure("Figure 5: selection throttling", sim.SelectionExperiments(), opts)
 	case "fig6":
 		points := sim.DepthSweep(opts, nil)
+		failed += reportSweepFailures(points)
 		sim.WriteSweep(os.Stdout, "Figure 6: pipeline depth (experiment C2)", "stages", points)
 	case "fig7":
 		points := sim.SizeSweep(opts, nil)
+		failed += reportSweepFailures(points)
 		sim.WriteSweep(os.Stdout, "Figure 7: predictor+estimator size (experiment C2)", "KB", points)
 	case "conf":
 		sim.WriteConfidence(os.Stdout, sim.RunConfidence(opts))
 	case "ablation":
-		runFigure("Ablation: estimator x mechanism cross", sim.EstimatorCrossExperiments(), opts)
+		failed += runFigure("Ablation: estimator x mechanism cross", sim.EstimatorCrossExperiments(), opts)
 		fmt.Println()
-		runFigure("Ablation: Pipeline Gating threshold sweep", sim.GateThresholdExperiments(), opts)
+		failed += runFigure("Ablation: Pipeline Gating threshold sweep", sim.GateThresholdExperiments(), opts)
 		fmt.Println()
-		runFigure("Ablation: C2 per-class contributions", sim.EscalationAblationExperiments(), opts)
+		failed += runFigure("Ablation: C2 per-class contributions", sim.EscalationAblationExperiments(), opts)
 	case "run":
-		e, ok := sim.ExperimentByID(*id)
+		e, ok := sim.ExperimentByID(id)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "hpca03: unknown experiment id %q\n", *id)
+			fmt.Fprintf(os.Stderr, "hpca03: unknown experiment id %q\n", id)
 			return 2
 		}
-		runFigure("Experiment "+e.ID+": "+e.Label, []sim.Experiment{e}, opts)
+		failed += runFigure("Experiment "+e.ID+": "+e.Label, []sim.Experiment{e}, opts)
 	case "all":
 		sim.WriteTable3(os.Stdout, sim.Default())
 		fmt.Println()
@@ -166,22 +181,28 @@ func run() int {
 		fmt.Println()
 		sim.WriteConfidence(os.Stdout, sim.RunConfidence(opts))
 		fmt.Println()
-		runFigure("Figure 1: oracle fetch/decode/select", sim.OracleExperiments(), opts)
+		failed += runFigure("Figure 1: oracle fetch/decode/select", sim.OracleExperiments(), opts)
 		fmt.Println()
-		runFigure("Figure 3: fetch throttling", sim.FetchExperiments(), opts)
+		failed += runFigure("Figure 3: fetch throttling", sim.FetchExperiments(), opts)
 		fmt.Println()
-		runFigure("Figure 4: decode throttling", sim.DecodeExperiments(), opts)
+		failed += runFigure("Figure 4: decode throttling", sim.DecodeExperiments(), opts)
 		fmt.Println()
-		runFigure("Figure 5: selection throttling", sim.SelectionExperiments(), opts)
+		failed += runFigure("Figure 5: selection throttling", sim.SelectionExperiments(), opts)
 		fmt.Println()
 		points := sim.DepthSweep(opts, nil)
+		failed += reportSweepFailures(points)
 		sim.WriteSweep(os.Stdout, "Figure 6: pipeline depth (experiment C2)", "stages", points)
 		fmt.Println()
 		points = sim.SizeSweep(opts, nil)
+		failed += reportSweepFailures(points)
 		sim.WriteSweep(os.Stdout, "Figure 7: predictor+estimator size (experiment C2)", "KB", points)
 	default:
-		fmt.Fprintf(os.Stderr, "hpca03: unknown experiment %q\n", *exp)
+		fmt.Fprintf(os.Stderr, "hpca03: unknown experiment %q\n", exp)
 		return 2
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "hpca03: %d grid point(s) failed; healthy points reported above\n", failed)
+		return 1
 	}
 	return 0
 }
@@ -194,7 +215,25 @@ func runTable2(opts sim.Options) {
 	sim.WriteTable2(os.Stdout, sim.RunTable2(opts))
 }
 
-func runFigure(name string, exps []sim.Experiment, opts sim.Options) {
+// runFigure runs one supervised figure grid, prints the healthy results to
+// stdout and any per-point failure diagnostics to stderr, and returns the
+// number of failed points.
+func runFigure(name string, exps []sim.Experiment, opts sim.Options) int {
 	fr := sim.RunFigure(name, exps, opts)
 	sim.WriteFigure(os.Stdout, fr)
+	fr.WriteFailures(os.Stderr)
+	return len(fr.Failures)
+}
+
+// reportSweepFailures prints any per-point failures a sweep isolated and
+// returns their count.
+func reportSweepFailures(points []sim.SweepPoint) int {
+	failed := 0
+	for _, pt := range points {
+		for _, f := range pt.Failures {
+			fmt.Fprintf(os.Stderr, "FAILED %s\n", f)
+			failed++
+		}
+	}
+	return failed
 }

@@ -24,6 +24,13 @@ import (
 )
 
 func main() {
+	// All work happens in run behind sim.Guard: a terminal simulation
+	// failure exits nonzero with the machine's diagnostic snapshot instead
+	// of a raw panic trace, and deferred cleanup still runs.
+	os.Exit(run())
+}
+
+func run() int {
 	n := flag.Uint64("n", prog.DefaultInstructions, "measured instructions per benchmark")
 	warmup := flag.Uint64("warmup", 0, "warmup instructions (default n/4)")
 	tune := flag.Bool("tune", false, "solve for per-profile noise scales hitting Table 2 miss rates")
@@ -39,12 +46,19 @@ func main() {
 	if *warmup == 0 {
 		*warmup = *n / 4
 	}
-	if *tune {
-		tuneNoiseScales(*n, *warmup)
+	return sim.Guard(os.Stderr, "stcalib", func() int {
+		calibrate(*n, *warmup, *tune)
+		return 0
+	})
+}
+
+func calibrate(n, warmup uint64, tune bool) {
+	if tune {
+		tuneNoiseScales(n, warmup)
 		return
 	}
 
-	opts := sim.Options{Instructions: *n, Warmup: *warmup}
+	opts := sim.Options{Instructions: n, Warmup: warmup}
 
 	fmt.Println("== per-benchmark calibration (baseline config)")
 	rows := sim.RunTable2(opts)

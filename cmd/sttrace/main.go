@@ -25,6 +25,14 @@ import (
 )
 
 func main() {
+	// All work happens in run behind sim.Guard: a terminal simulation
+	// failure (deadlock, invariant panic) exits nonzero with the machine's
+	// diagnostic snapshot instead of a raw panic trace, and deferred
+	// cleanup still runs.
+	os.Exit(run())
+}
+
+func run() int {
 	bench := flag.String("bench", "go", "benchmark profile")
 	id := flag.String("id", "C2", "experiment id, or 'baseline'")
 	n := flag.Uint64("n", 200000, "instructions to simulate")
@@ -34,18 +42,23 @@ func main() {
 	if *verbose {
 		defer sim.WriteCacheSummary(os.Stderr)
 	}
+	return sim.Guard(os.Stderr, "sttrace", func() int {
+		return trace(*bench, *id, *n, *interval)
+	})
+}
 
-	profile, ok := prog.ProfileByName(*bench)
+func trace(bench, id string, n uint64, interval int64) int {
+	profile, ok := prog.ProfileByName(bench)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "sttrace: unknown benchmark %q\n", *bench)
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "sttrace: unknown benchmark %q\n", bench)
+		return 2
 	}
 	cfg := sim.Default()
-	if *id != "baseline" {
-		e, ok := sim.ExperimentByID(*id)
+	if id != "baseline" {
+		e, ok := sim.ExperimentByID(id)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "sttrace: unknown experiment %q\n", *id)
-			os.Exit(2)
+			fmt.Fprintf(os.Stderr, "sttrace: unknown experiment %q\n", id)
+			return 2
 		}
 		cfg = e.Apply(cfg)
 	}
@@ -62,17 +75,36 @@ func main() {
 	pl := pipe.New(cfg.Pipe, walker, pred, est, ctrl, meter)
 
 	fmt.Printf("%s on %s (%d instructions, %d-cycle intervals)\n\n",
-		*id, *bench, *n, *interval)
+		id, bench, n, interval)
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "cycles\tIPC\tmiss%\twrong-path/fetch%\tfetch-gated%\tnoselect-stalls")
 
+	// The trace loop drives Step directly, below pipe.RunE's deadlock
+	// detector, so it carries its own interval-level no-commit bailout: a
+	// wedged machine would otherwise trace forever.
+	stuckLimit := uint64(cfg.Pipe.StuckCycles)
+	if stuckLimit == 0 {
+		stuckLimit = pipe.DefaultStuckCycles
+	}
+	var stuckSince uint64 // cycles since the last observed commit
+
 	prev := pl.Stats
-	for pl.Stats.Committed < *n {
-		target := pl.Cycle() + *interval
-		for pl.Cycle() < target && pl.Stats.Committed < *n {
+	for pl.Stats.Committed < n {
+		target := pl.Cycle() + interval
+		for pl.Cycle() < target && pl.Stats.Committed < n {
 			pl.Step()
 		}
 		s := pl.Stats
+		if s.Committed == prev.Committed {
+			if stuckSince += s.Cycles - prev.Cycles; stuckSince > stuckLimit {
+				tw.Flush()
+				fmt.Fprintf(os.Stderr, "sttrace: no commit in %d cycles at cycle %d (committed=%d/%d policy=%q): machine deadlocked\n",
+					stuckSince, pl.Cycle(), s.Committed, n, cfg.Policy.Name)
+				return 1
+			}
+		} else {
+			stuckSince = 0
+		}
 		dCyc := s.Cycles - prev.Cycles
 		dCom := s.Committed - prev.Committed
 		dBr := s.CondBranches - prev.CondBranches
@@ -111,10 +143,10 @@ func main() {
 	// mid-run), but the reference comparison goes through sim.Run and so
 	// shares the process-wide result cache with every other driver: tracing
 	// several experiments in one process simulates each endpoint once.
-	if *id != "baseline" {
+	if id != "baseline" {
 		runCfg := cfg
-		runCfg.Instructions = *n * 3 / 4
-		runCfg.Warmup = *n / 4
+		runCfg.Instructions = n * 3 / 4
+		runCfg.Warmup = n / 4
 		baseCfg := runCfg
 		baseCfg.Policy = core.Baseline()
 		baseCfg.Estimator = sim.EstBPRU
@@ -123,4 +155,5 @@ func main() {
 		fmt.Printf("vs baseline: speedup %.3f, power %.1f%%, energy %.1f%%, E-D %.1f%%\n",
 			cmp.Speedup, cmp.PowerSaving, cmp.EnergySaving, cmp.EDImprovement)
 	}
+	return 0
 }

@@ -1,0 +1,196 @@
+// Package faultinject is the deterministic fault-injection harness behind
+// pipe.Config's test hook: seedable plans that force a pipeline to deadlock
+// at a chosen cycle, panic in a chosen stage, or run artificially slowly —
+// the three failure shapes the run supervisor (internal/sim) must isolate,
+// retry, time out, and degrade around. The stress suite uses it to prove
+// those properties against real failures instead of mocks.
+//
+// Determinism is the point: a Plan's behaviour is a pure function of its
+// Fault list and the pipeline's cycle counter, so an injected failure
+// reproduces bit for bit, and the healthy points of a partially-faulted grid
+// are provably identical to a clean run. Scatter derives a random-looking
+// but fully seeded plan assignment for grid-level stress tests.
+//
+// A *Plan is a valid pipe.FaultHook (pointer type, so pipe.Config stays
+// comparable with a hook installed) but records per-plan state (fired
+// counters for one-shot faults); give each concurrently-running pipeline its
+// own Plan.
+package faultinject
+
+import (
+	"fmt"
+	"time"
+
+	"selthrottle/internal/pipe"
+	"selthrottle/internal/xrand"
+)
+
+// Kind is the shape of one injected fault.
+type Kind uint8
+
+// Fault kinds.
+const (
+	// KindPanic panics inside the chosen stage with an *Injected payload
+	// (the supervisor sees a pipe.RunError with Kind ErrPanic and the
+	// Injected as its cause).
+	KindPanic Kind = iota + 1
+	// KindDeadlock wedges fetch from the chosen cycle on, driving the
+	// machine into RunE's no-commit deadlock detector. The wedge is
+	// re-applied every cycle (a misprediction flush would otherwise clear
+	// the fetch gate), so the machine starves deterministically.
+	KindDeadlock
+	// KindSlow sleeps Delay in the chosen stage every cycle of [Cycle,
+	// Cycle+Span), turning a microsecond-scale point into one slow enough
+	// for deadline tests to cancel mid-run.
+	KindSlow
+)
+
+// String names the kind for fault messages.
+func (k Kind) String() string {
+	switch k {
+	case KindPanic:
+		return "panic"
+	case KindDeadlock:
+		return "deadlock"
+	case KindSlow:
+		return "slow"
+	}
+	return "unknown"
+}
+
+// Fault is one injected failure: Kind fired in Stage once the pipeline
+// reaches Cycle.
+type Fault struct {
+	Kind  Kind
+	Stage pipe.FaultStage // stage the fault fires in (KindPanic, KindSlow)
+	Cycle int64           // first cycle at or after which the fault is live
+
+	// Span bounds a KindSlow fault's duration in cycles (0 = forever).
+	Span int64
+
+	// Delay is the per-cycle sleep of a KindSlow fault.
+	Delay time.Duration
+
+	// Once makes a KindPanic fault transient: it fires on the first
+	// qualifying stage visit only, and the resulting Injected error reports
+	// Retryable() == true — a supervisor retry of the same point succeeds.
+	// The pipeline's cycle counter restarts on Reset, so the retried run
+	// revisits Cycle; the fired latch, not the clock, is what makes the
+	// fault single-shot.
+	Once bool
+}
+
+// Injected is the panic payload of a KindPanic fault. It travels up as the
+// Cause of the ErrPanic pipe.RunError the supervised run returns, and its
+// Retryable method is what classifies the failure for the retry policy:
+// transient (Once) faults are worth re-running, persistent ones are not.
+type Injected struct {
+	Stage     pipe.FaultStage
+	Cycle     int64
+	Transient bool
+}
+
+// Error describes the injected failure.
+func (e *Injected) Error() string {
+	kind := "persistent"
+	if e.Transient {
+		kind = "transient"
+	}
+	return fmt.Sprintf("faultinject: %s injected panic in %s at cycle %d", kind, e.Stage, e.Cycle)
+}
+
+// Retryable classifies the failure for supervisor retry policy (see
+// pipe.RunError.Retryable).
+func (e *Injected) Retryable() bool { return e.Transient }
+
+// Plan is a deterministic fault schedule implementing pipe.FaultHook.
+// Install it via pipe.Config.Fault; the pipeline invokes OnStage at the top
+// of every cycle and every stage. Plans carry per-fault fired latches, so
+// one Plan supervises one pipeline at a time (give each grid point its own).
+type Plan struct {
+	faults []Fault
+	fired  []bool
+}
+
+// NewPlan builds a plan from the given faults.
+func NewPlan(faults ...Fault) *Plan {
+	return &Plan{faults: faults, fired: make([]bool, len(faults))}
+}
+
+// Reset re-arms every one-shot fault (for reusing a plan across sequential
+// runs; concurrent runs need separate plans).
+func (p *Plan) Reset() {
+	clear(p.fired)
+}
+
+// Faults returns the plan's schedule (for failure reports in tests).
+func (p *Plan) Faults() []Fault { return p.faults }
+
+// OnStage implements pipe.FaultHook: it fires every fault whose stage and
+// cycle window match, in plan order.
+func (p *Plan) OnStage(stage pipe.FaultStage, cycle int64) pipe.FaultAction {
+	action := pipe.FaultNone
+	for i := range p.faults {
+		f := &p.faults[i]
+		if cycle < f.Cycle {
+			continue
+		}
+		switch f.Kind {
+		case KindDeadlock:
+			// Re-issue the wedge on every cycle boundary so a flush cannot
+			// un-wedge fetch.
+			if stage == pipe.StageStep {
+				action = pipe.FaultWedgeFetch
+			}
+		case KindPanic:
+			if stage != f.Stage || p.fired[i] {
+				continue
+			}
+			// Only transient faults latch: a persistent fault re-fires on
+			// every qualifying visit (and so on every retried run), which is
+			// what makes it terminal to a supervisor.
+			if f.Once {
+				p.fired[i] = true
+			}
+			panic(&Injected{Stage: stage, Cycle: cycle, Transient: f.Once})
+		case KindSlow:
+			if stage != f.Stage || (f.Span > 0 && cycle >= f.Cycle+f.Span) {
+				continue
+			}
+			time.Sleep(f.Delay)
+		}
+	}
+	return action
+}
+
+// Scatter deterministically assigns faults to k of n grid points. It returns
+// a length-n slice in which exactly k entries (chosen by the seeded
+// generator) carry a fresh single-fault Plan cycling through the deadlock
+// and panic shapes, and the rest are nil. Grid stress tests use it to build
+// the "K of N points fail" scenario reproducibly from one seed.
+func Scatter(seed uint64, n, k int, cycle int64) []*Plan {
+	if k > n {
+		k = n
+	}
+	plans := make([]*Plan, n)
+	rng := xrand.New(seed)
+	// Seeded partial Fisher-Yates over the point indices picks the k victims.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + int(rng.Uint64()%uint64(n-i))
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	shapes := []Fault{
+		{Kind: KindDeadlock, Cycle: cycle},
+		{Kind: KindPanic, Stage: pipe.StageIssue, Cycle: cycle},
+		{Kind: KindPanic, Stage: pipe.StageCommit, Cycle: cycle},
+		{Kind: KindPanic, Stage: pipe.StageFetch, Cycle: cycle},
+	}
+	for i := 0; i < k; i++ {
+		plans[idx[i]] = NewPlan(shapes[i%len(shapes)])
+	}
+	return plans
+}

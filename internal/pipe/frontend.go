@@ -52,6 +52,9 @@ func (p *Pipeline) fetchSegLen() int { return p.frontQ.Len() - p.decoded }
 // steered at exactly the point the per-instruction loop would have reached
 // it.
 func (p *Pipeline) fetchFused() {
+	if p.faultArmed {
+		p.stageFault(StageFetch)
+	}
 	dbg := p.dbgFetchArmed && p.cycle >= p.dbgFetchLo && p.cycle < p.dbgFetchHi
 	if p.fetchHeld || p.cycle < p.fetchResumeAt {
 		if dbg {
@@ -162,6 +165,9 @@ func (p *Pipeline) fetchFused() {
 // rates, the oracle-decode limit study) and power accounting match the
 // legacy stage exactly.
 func (p *Pipeline) decodeFused() {
+	if p.faultArmed {
+		p.stageFault(StageDecode)
+	}
 	width := p.cfg.DecodeWidth
 	// Triggers only change at fetch and resolve, so whether any of them
 	// restricts decode is loop-invariant; the common unthrottled case skips
@@ -254,6 +260,9 @@ func (p *Pipeline) decodeFused() {
 // line's head. Decode is strictly in order, so the decoded prefix always
 // starts at the ring head.
 func (p *Pipeline) dispatchFused() {
+	if p.faultArmed {
+		p.stageFault(StageDispatch)
+	}
 	width := p.cfg.IssueWidth
 	for n := 0; n < width && p.decoded > 0; n++ {
 		in := p.frontQ.At(0)

@@ -109,7 +109,7 @@ func (p *Pipeline) epochSlot(i int32) int32 {
 // 11-counter clear.
 func (p *Pipeline) openEpoch(openSeq int64) {
 	if int(p.epochCount) == len(p.epochBuf) {
-		panic("pipe: epoch ring overflow")
+		panic("pipe: epoch ring overflow") // invariant: ring sized to InFlightBranches
 	}
 	slot := p.epochSlot(p.epochCount)
 	p.epochBuf[slot].openSeq = openSeq
@@ -174,7 +174,7 @@ func (p *Pipeline) foldEpochs(brSeq int64) {
 	// The flushing branch is in flight inside an older epoch, so the ring
 	// can never drain completely.
 	if p.epochCount == 0 {
-		panic("pipe: flush folded every epoch")
+		panic("pipe: flush folded every epoch") // invariant: flushing branch lives in an older epoch
 	}
 	p.openEpoch(brSeq) // also re-establishes curEpoch after the pops
 	p.refreshNextRetire()

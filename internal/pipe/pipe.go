@@ -64,6 +64,7 @@ package pipe
 import (
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 
 	"selthrottle/internal/bpred"
 	"selthrottle/internal/cache"
@@ -128,11 +129,17 @@ type Config struct {
 	// the established pattern of LegacyScanIssue/LegacyFrontEnd/LegacyWalk.
 	LegacyEventLedger bool
 
-	// StuckCycles is the no-commit cycle count after which Run declares the
-	// machine deadlocked and panics. Zero selects DefaultStuckCycles;
-	// stress harnesses and CI shapes tighten it to fail fast. The threshold
-	// cannot influence a completed simulation's results.
+	// StuckCycles is the no-commit cycle count after which RunE declares the
+	// machine deadlocked (Run panics with the same *RunError). Zero selects
+	// DefaultStuckCycles; stress harnesses and CI shapes tighten it to fail
+	// fast. The threshold cannot influence a completed simulation's results.
 	StuckCycles int
+
+	// Fault is the fault-injection test hook (see FaultHook and
+	// internal/faultinject); nil in every production configuration. The
+	// hook's dynamic type must be comparable (a pointer suffices) so Config
+	// itself stays a comparable value with a hook installed.
+	Fault FaultHook
 
 	Oracle core.Oracle
 }
@@ -467,6 +474,21 @@ type Pipeline struct {
 	dbgFetchLo, dbgFetchHi int64
 	dbgFetchArmed          bool
 
+	// faultArmed hoists the Config.Fault != nil test (set once in New): the
+	// per-cycle stage paths pay one predictable bool check when fault
+	// injection is off, the overwhelmingly common case.
+	faultArmed bool
+
+	// canceled is the cooperative-cancellation flag Cancel sets (from any
+	// goroutine); RunE polls it every cancelCheckCycles cycles. Reset clears
+	// it — not RunE, so one Cancel stops both the warmup and measurement
+	// runs sharing a reset.
+	canceled atomic.Bool
+
+	// runTarget is the commit target of the RunE in progress, captured for
+	// failure snapshots.
+	runTarget uint64
+
 	flushCount int // counts true flushes for DebugFlushes selection
 
 	Stats Stats
@@ -490,6 +512,7 @@ func New(cfg Config, w *prog.Walker, pred bpred.DirPredictor, est conf.Estimator
 		ras:    bpred.NewRAS(cfg.RASDepth),
 		meter:  meter,
 	}
+	p.faultArmed = cfg.Fault != nil
 	p.fetchCap = cfg.FetchStages*cfg.FetchWidth + 2*cfg.FetchWidth
 	p.decodeCap = cfg.DecodeStages*cfg.DecodeWidth + 2*cfg.DecodeWidth
 	p.fetchQ = newRing[*inst](p.fetchCap)
@@ -572,6 +595,7 @@ func (p *Pipeline) Reset(w *prog.Walker, pred bpred.DirPredictor, est conf.Estim
 	p.wastedTally = [power.NumUnits]uint64{}
 	p.resetEpochs()
 	p.flushCount = 0
+	p.canceled.Store(false)
 	p.Stats = Stats{}
 }
 
@@ -641,28 +665,73 @@ func (p *Pipeline) Mem() *cache.Hierarchy { return p.mem }
 func (p *Pipeline) Cycle() int64 { return p.cycle }
 
 // Run simulates until n instructions have committed and returns the stats.
-// It panics if the machine makes no commit progress for Config.StuckCycles
-// cycles (a pipeline deadlock bug, guarded by tests).
+// It is the legacy panicking wrapper around RunE: any terminal failure
+// (deadlock, wrong-path commit, invariant violation, cancellation) is raised
+// as a *RunError panic, preserving the historical fail-fast contract for
+// callers without a supervisor.
 func (p *Pipeline) Run(n uint64) *Stats {
+	st, err := p.RunE(n)
+	if err != nil {
+		panic(err) // fail-fast: legacy contract, typed *RunError for sim.Guard
+	}
+	return st
+}
+
+// cancelCheckCycles is the amortization interval of RunE's cooperative
+// cancellation check: one counter decrement per cycle on the hot path, one
+// atomic load per interval. At typical simulation speeds (millions of cycles
+// per second) an interval of 1024 cycles bounds the cancellation response to
+// well under a millisecond while keeping the check invisible to
+// BenchmarkSingleRun.
+const cancelCheckCycles = 1024
+
+// RunE simulates until n instructions have committed and returns the stats,
+// or a *RunError describing the terminal failure: ErrDeadlock when the
+// machine makes no commit progress for Config.StuckCycles cycles, ErrCanceled
+// when Cancel stopped the run, or ErrWrongPathCommit/ErrPanic when a
+// simulator invariant broke mid-cycle (recovered here, with the machine
+// snapshot and panicking stack attached). After an error the pipeline's
+// in-flight state is undefined; Reset restores it for reuse.
+func (p *Pipeline) RunE(n uint64) (st *Stats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			// Deliberately convert while the panicking frames are still
+			// live, so ErrPanic stacks point at the true origin.
+			err = p.recoverRunError(r)
+		}
+	}()
+	p.runTarget = n
 	lastCommit := p.Stats.Committed
 	stuck, limit := 0, p.cfg.stuckLimit()
+	check := cancelCheckCycles
 	for p.Stats.Committed < n {
 		p.Step()
 		if p.Stats.Committed == lastCommit {
 			stuck++
 			if stuck > limit {
-				panic(fmt.Sprintf("pipe: no commit in %d cycles at cycle %d (committed=%d/%d policy=%q window=%d fetchQ=%d decodeQ=%d)",
-					limit, p.cycle, p.Stats.Committed, n, p.ctrl.Policy().Name,
-					p.window.Len(), p.frontFetchLen(), p.frontDecodeLen()))
+				return nil, p.newRunError(ErrDeadlock, nil)
 			}
 		} else {
 			stuck = 0
 			lastCommit = p.Stats.Committed
 		}
+		if check--; check <= 0 {
+			check = cancelCheckCycles
+			if p.canceled.Load() {
+				return nil, p.newRunError(ErrCanceled, nil)
+			}
+		}
 	}
 	p.FlushTally()
-	return &p.Stats
+	return &p.Stats, nil
 }
+
+// Cancel requests a cooperative stop of the RunE in progress (safe from any
+// goroutine; typically a supervisor's deadline watchdog). The run returns an
+// ErrCanceled *RunError within cancelCheckCycles cycles. The flag persists
+// until Reset, so a canceled warmup also cancels the measurement run that
+// would follow it.
+func (p *Pipeline) Cancel() { p.canceled.Store(true) }
 
 // frontFetchLen reports the fetched-but-undecoded instruction count of the
 // active front end (diagnostics).
@@ -693,6 +762,9 @@ func (p *Pipeline) FlushTally() {
 // Step advances the machine one cycle. Stages run back to front so that
 // same-cycle structural hazards resolve in program order.
 func (p *Pipeline) Step() {
+	if p.faultArmed {
+		p.stageFault(StageStep)
+	}
 	p.commit()
 	p.complete()
 	p.issue()
@@ -713,6 +785,9 @@ func (p *Pipeline) Step() {
 // ---------------------------------------------------------------- fetch --
 
 func (p *Pipeline) fetch() {
+	if p.faultArmed {
+		p.stageFault(StageFetch)
+	}
 	dbg := p.dbgFetchArmed && p.cycle >= p.dbgFetchLo && p.cycle < p.dbgFetchHi
 	if p.fetchHeld || p.cycle < p.fetchResumeAt {
 		if dbg {
@@ -853,6 +928,9 @@ func (p *Pipeline) btbTouch(pc, target uint64) {
 // --------------------------------------------------------------- decode --
 
 func (p *Pipeline) decode() {
+	if p.faultArmed {
+		p.stageFault(StageDecode)
+	}
 	width := p.cfg.DecodeWidth
 	// Triggers only change at fetch and resolve, so whether any of them
 	// restricts decode is loop-invariant; the common unthrottled case skips
@@ -915,6 +993,9 @@ func (p *Pipeline) decodeOne(in *inst) {
 // ------------------------------------------------------------- dispatch --
 
 func (p *Pipeline) dispatch() {
+	if p.faultArmed {
+		p.stageFault(StageDispatch)
+	}
 	width := p.cfg.IssueWidth
 	for n := 0; n < width && p.decodeQ.Len() > 0; n++ {
 		in := p.decodeQ.At(0)
@@ -1002,6 +1083,9 @@ func (p *Pipeline) dispatchOne(in *inst) {
 // ---------------------------------------------------------------- issue --
 
 func (p *Pipeline) issue() {
+	if p.faultArmed {
+		p.stageFault(StageIssue)
+	}
 	if p.eventIssue {
 		p.issueEvent()
 		return
@@ -1252,6 +1336,9 @@ func (p *Pipeline) issueScan() {
 // ------------------------------------------------------------- complete --
 
 func (p *Pipeline) complete() {
+	if p.faultArmed {
+		p.stageFault(StageComplete)
+	}
 	slot := p.cycle % maxCompLat
 	finishing := p.compQ[slot]
 	p.compQ[slot] = finishing[:0]
@@ -1465,6 +1552,9 @@ func (p *Pipeline) squash(in *inst) {
 // --------------------------------------------------------------- commit --
 
 func (p *Pipeline) commit() {
+	if p.faultArmed {
+		p.stageFault(StageCommit)
+	}
 	width := p.cfg.CommitWidth
 	for n := 0; n < width && p.window.Len() > 0; n++ {
 		in := p.window.At(0)
@@ -1473,8 +1563,9 @@ func (p *Pipeline) commit() {
 		}
 		p.window.PopFront()
 		if in.d.WrongPath {
-			panic(fmt.Sprintf("pipe: wrong-path instruction committed: seq=%d pc=%x cycle=%d",
-				in.d.Seq, in.d.PC, p.cycle))
+			// The instruction is already off the window; the RunError's
+			// InstSnapshot is its only surviving provenance record.
+			panic(p.wrongPathCommitError(in)) // invariant: simulator bug, converted by RunE
 		}
 		if in.isMem() {
 			p.lsqUsed--

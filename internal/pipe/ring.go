@@ -46,7 +46,7 @@ func (r *ring[T]) backSlot() int { return r.wrap(r.head + r.count) }
 // violation is a back-pressure bug, not a recoverable condition).
 func (r *ring[T]) PushBack(v T) {
 	if r.Full() {
-		panic("pipe: ring overflow")
+		panic("pipe: ring overflow") // invariant: callers check Full first
 	}
 	r.buf[r.wrap(r.head+r.count)] = v
 	r.count++
@@ -58,7 +58,7 @@ func (r *ring[T]) PushBack(v T) {
 // costs a store on the hottest ops); PushBack overwrites it on reuse.
 func (r *ring[T]) PopFront() T {
 	if r.count == 0 {
-		panic("pipe: ring underflow")
+		panic("pipe: ring underflow") // invariant: callers check Len first
 	}
 	v := r.buf[r.head]
 	r.head = r.wrap(r.head + 1)
@@ -70,7 +70,7 @@ func (r *ring[T]) PopFront() T {
 // PopFront).
 func (r *ring[T]) PopBack() T {
 	if r.count == 0 {
-		panic("pipe: ring underflow")
+		panic("pipe: ring underflow") // invariant: callers check Len first
 	}
 	i := r.wrap(r.head + r.count - 1)
 	v := r.buf[i]

@@ -1,0 +1,220 @@
+package pipe
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"selthrottle/internal/bpred"
+	"selthrottle/internal/conf"
+	"selthrottle/internal/core"
+	"selthrottle/internal/power"
+	"selthrottle/internal/prog"
+)
+
+// buildCfg constructs a baseline pipeline over a named profile with an
+// explicit Config (build's sibling for tests that vary StuckCycles or arm a
+// fault hook).
+func buildCfg(t testing.TB, bench string, cfg Config) *Pipeline {
+	t.Helper()
+	p, ok := prog.ProfileByName(bench)
+	if !ok {
+		t.Fatalf("unknown profile %q", bench)
+	}
+	program := prog.Generate(p)
+	w := prog.NewWalker(program)
+	return New(cfg, w, bpred.NewGshare(8<<10), conf.NewBPRU(8<<10),
+		core.NewController(core.Baseline()), &power.Meter{})
+}
+
+// wedgeHook wedges fetch every cycle from at onward, driving the machine
+// into the deadlock detector once the in-flight instructions drain.
+type wedgeHook struct{ at int64 }
+
+func (h *wedgeHook) OnStage(s FaultStage, cycle int64) FaultAction {
+	if s == StageStep && cycle >= h.at {
+		return FaultWedgeFetch
+	}
+	return FaultNone
+}
+
+// panicHook panics with payload the first time its stage runs at or after
+// cycle at.
+type panicHook struct {
+	stage   FaultStage
+	at      int64
+	payload error
+	fired   bool
+}
+
+func (h *panicHook) OnStage(s FaultStage, cycle int64) FaultAction {
+	if !h.fired && s == h.stage && cycle >= h.at {
+		h.fired = true
+		panic(h.payload)
+	}
+	return FaultNone
+}
+
+func TestRunEDeadlockTypedError(t *testing.T) {
+	cfg := Default()
+	cfg.StuckCycles = 2000
+	cfg.Fault = &wedgeHook{at: 500}
+	pl := buildCfg(t, "gzip", cfg)
+
+	st, err := pl.RunE(50000)
+	if st != nil {
+		t.Fatalf("stats %v on failed run, want nil", st)
+	}
+	re, ok := AsRunError(err)
+	if !ok {
+		t.Fatalf("err %T %v, want *RunError", err, err)
+	}
+	if re.Kind != ErrDeadlock {
+		t.Fatalf("kind %v, want deadlock", re.Kind)
+	}
+	if re.StuckLimit != 2000 || re.Target != 50000 {
+		t.Fatalf("snapshot limit=%d target=%d, want 2000/50000", re.StuckLimit, re.Target)
+	}
+	if re.Cycle <= 2000 || re.Committed == 0 {
+		t.Fatalf("implausible snapshot cycle=%d committed=%d", re.Cycle, re.Committed)
+	}
+	if re.Policy != core.Baseline().Name {
+		t.Fatalf("policy %q", re.Policy)
+	}
+	if !strings.HasPrefix(err.Error(), "pipe: no commit in 2000 cycles") {
+		t.Fatalf("message lost historical prefix: %q", err)
+	}
+	if re.Retryable() {
+		t.Fatal("deterministic deadlock reported as retryable")
+	}
+}
+
+func TestRunEInjectedPanicBecomesErrPanic(t *testing.T) {
+	boom := errors.New("boom")
+	cfg := Default()
+	cfg.Fault = &panicHook{stage: StageIssue, at: 300, payload: boom}
+	pl := buildCfg(t, "twolf", cfg)
+
+	_, err := pl.RunE(50000)
+	re, ok := AsRunError(err)
+	if !ok {
+		t.Fatalf("err %T %v, want *RunError", err, err)
+	}
+	if re.Kind != ErrPanic {
+		t.Fatalf("kind %v, want panic", re.Kind)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("cause %v not exposed through Unwrap", re.Cause)
+	}
+	if len(re.Stack) == 0 || !bytes.Contains(re.Stack, []byte("OnStage")) {
+		t.Fatalf("stack does not show the panicking frame:\n%s", re.Stack)
+	}
+	if re.Cycle < 300 {
+		t.Fatalf("snapshot cycle %d before the fault armed", re.Cycle)
+	}
+	if re.Retryable() {
+		t.Fatal("plain panic cause reported as retryable")
+	}
+}
+
+func TestRunLegacyPanicCarriesRunError(t *testing.T) {
+	cfg := Default()
+	cfg.StuckCycles = 1500
+	cfg.Fault = &wedgeHook{}
+	pl := buildCfg(t, "gcc", cfg)
+
+	defer func() {
+		re, ok := recover().(*RunError)
+		if !ok || re.Kind != ErrDeadlock {
+			t.Fatalf("recovered %v, want deadlock *RunError", re)
+		}
+	}()
+	pl.Run(50000)
+	t.Fatal("Run returned on a wedged machine")
+}
+
+func TestCancelStopsRunPromptly(t *testing.T) {
+	p, _ := prog.ProfileByName("gzip")
+	w := prog.NewWalker(prog.Generate(p))
+	pred := bpred.NewGshare(8 << 10)
+	est := conf.NewBPRU(8 << 10)
+	ctrl := core.NewController(core.Baseline())
+	meter := &power.Meter{}
+	pl := New(Default(), w, pred, est, ctrl, meter)
+
+	pl.Cancel()
+	_, err := pl.RunE(1 << 40)
+	re, ok := AsRunError(err)
+	if !ok || re.Kind != ErrCanceled {
+		t.Fatalf("err %v, want canceled *RunError", err)
+	}
+	// The flag was set before the run started, so the first amortized check
+	// must observe it: the machine may run at most 2x the check interval.
+	if re.Cycle > 2*cancelCheckCycles {
+		t.Fatalf("ran %d cycles after cancellation, want <= %d", re.Cycle, 2*cancelCheckCycles)
+	}
+
+	// Reset clears the flag: the same pipeline object completes a fresh run.
+	w2 := prog.NewWalker(prog.Generate(p))
+	pred.Reset()
+	est.Reset()
+	meter.Reset()
+	pl.Reset(w2, pred, est, ctrl, meter)
+	st, err := pl.RunE(10000)
+	if err != nil {
+		t.Fatalf("post-reset run failed: %v", err)
+	}
+	if st.Committed < 10000 {
+		t.Fatalf("committed %d", st.Committed)
+	}
+	if err := pl.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after cancel+reset: %v", err)
+	}
+}
+
+func TestWrongPathCommitErrorProvenance(t *testing.T) {
+	pl := build(t, "gzip", core.Baseline(), nil, core.OracleNone)
+	pl.Run(5000)
+
+	in := &inst{}
+	in.d.Seq = 42
+	in.d.PC = 0x4010
+	in.d.WrongPath = true
+	in.d.Taken = true
+	in.d.Ckpt = 7
+	in.predTaken = false
+	in.fetchCycle = 10
+	in.windowCycle = 12
+	in.issueCycle = 15
+	in.epoch = 3
+
+	err := pl.wrongPathCommitError(in)
+	if err.Kind != ErrWrongPathCommit || err.Inst == nil {
+		t.Fatalf("bad error %+v", err)
+	}
+	s := err.Inst
+	if s.Seq != 42 || s.PC != 0x4010 || !s.WrongPath || !s.Taken || s.PredTaken ||
+		s.FetchCycle != 10 || s.WindowCycle != 12 || s.IssueCycle != 15 ||
+		s.Epoch != 3 || s.Ckpt != 7 {
+		t.Fatalf("provenance lost: %s", s)
+	}
+	if !strings.HasPrefix(err.Error(), "pipe: wrong-path instruction committed:") {
+		t.Fatalf("message lost historical prefix: %q", err)
+	}
+	if !strings.Contains(err.Error(), "seq=42") {
+		t.Fatalf("message omits provenance: %q", err)
+	}
+}
+
+func TestRecoverRunErrorPassthrough(t *testing.T) {
+	pl := build(t, "gzip", core.Baseline(), nil, core.OracleNone)
+	orig := pl.newRunError(ErrWrongPathCommit, nil)
+	if got := pl.recoverRunError(orig); got != orig {
+		t.Fatalf("typed RunError rewrapped: %v", got)
+	}
+	got := pl.recoverRunError("string panic")
+	if got.Kind != ErrPanic || got.Cause == nil || len(got.Stack) == 0 {
+		t.Fatalf("non-error panic value not wrapped: %+v", got)
+	}
+}

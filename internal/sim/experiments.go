@@ -116,7 +116,7 @@ func BestExperiment() Experiment {
 			return e
 		}
 	}
-	panic("sim: C2 missing")
+	panic("sim: C2 missing") // invariant: SelectionExperiments defines C2
 }
 
 // ExperimentByID finds an experiment in any of the standard series.

@@ -1,7 +1,9 @@
 package sim
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"sort"
 
 	"selthrottle/internal/power"
@@ -27,6 +29,11 @@ type Options struct {
 	// attribution reference instead of the epoch ledgers (diagnostics;
 	// output must be byte-identical, like LegacyFrontEnd).
 	LegacyEventLedger bool
+
+	// Supervise is the per-point run policy (deadline, retries, fault
+	// hooks). The zero value isolates failures without deadlines or
+	// retries; healthy grids behave identically with or without it.
+	Supervise Supervisor
 }
 
 // withDefaults fills unset options with paper-baseline values.
@@ -72,25 +79,48 @@ type ExperimentRow struct {
 	Average    Comparison
 }
 
-// FigureResult is the full reproduction of one figure.
+// FigureResult is the full reproduction of one figure. On a healthy grid
+// Statuses and Failures are nil; when supervision isolated failed points,
+// Statuses holds the per-point outcomes (config-major: point c*NP+j is
+// configuration c — 0 the baseline, c>0 experiment c-1 — on profile j) and
+// Failures the report of the failed points. Comparisons involving a failed
+// cell (or a failed baseline column) read as zero and are excluded from the
+// row averages.
 type FigureResult struct {
 	Name      string
 	Options   Options
 	Baselines []Result // per profile
 	Rows      []ExperimentRow
+
+	Statuses []PointStatus  // per grid point, config-major; nil when all OK
+	Failures []PointFailure // failed points; nil when all OK
 }
 
 // RunFigure reproduces a bar-chart figure: it runs the baseline and every
 // experiment on every profile, producing the paper's four metric groups.
+// It is RunFigureE under a background context; see RunFigureE for the grid
+// execution and failure-isolation semantics.
+func RunFigure(name string, exps []Experiment, opts Options) *FigureResult {
+	return RunFigureE(context.Background(), name, exps, opts)
+}
+
+// RunFigureE reproduces a figure under ctx with per-point failure isolation.
 // The whole (configuration x benchmark) grid is flattened into one job list
 // and executed on the shared pool of reusable Runners, so parallelism spans
 // the full figure without constructing a simulator per cell; grid cells
 // already in the process-wide result cache (shared baselines, repeated
 // experiments, earlier figures) are served without re-simulation. Output is
 // independent of GOMAXPROCS: every run is deterministic and slot-addressed.
-func RunFigure(name string, exps []Experiment, opts Options) *FigureResult {
+//
+// Every point runs under opts.Supervise: a failed point becomes a per-point
+// status and a Failures entry instead of a process-killing panic, and the
+// healthy points are returned bit-identical to a clean run. Canceling ctx
+// stops in-flight points cooperatively and short-circuits the rest; their
+// statuses carry the context error.
+func RunFigureE(ctx context.Context, name string, exps []Experiment, opts Options) *FigureResult {
 	opts = opts.withDefaults()
 	base := opts.baseConfig()
+	sup := &opts.Supervise
 
 	cfgs := make([]Config, 1+len(exps))
 	cfgs[0] = base
@@ -99,23 +129,75 @@ func RunFigure(name string, exps []Experiment, opts Options) *FigureResult {
 	}
 	np := len(opts.Profiles)
 	all := make([]Result, len(cfgs)*np)
+	statuses := make([]PointStatus, len(all))
 	runJobs(len(all), func(r *Runner, k int) {
-		all[k] = runCached(r, cfgs[k/np], opts.Profiles[k%np])
+		all[k], statuses[k] = sup.runPoint(ctx, r, cfgs[k/np], opts.Profiles[k%np])
 	})
 
 	fr := &FigureResult{Name: name, Options: opts}
 	fr.Baselines = all[:np]
+	nfail := 0
+	for _, st := range statuses {
+		if !st.OK() {
+			nfail++
+		}
+	}
+	if nfail > 0 {
+		fr.Statuses = statuses
+		fr.Failures = make([]PointFailure, 0, nfail)
+		for k, st := range statuses {
+			if st.OK() {
+				continue
+			}
+			expID := "baseline"
+			if c := k / np; c > 0 {
+				expID = exps[c-1].ID
+			}
+			fr.Failures = append(fr.Failures, PointFailure{
+				Figure:     name,
+				Experiment: expID,
+				Benchmark:  opts.Profiles[k%np].Name,
+				Attempts:   st.Attempts,
+				Err:        st.Err,
+			})
+		}
+	}
 	fr.Rows = make([]ExperimentRow, len(exps))
 	for i, e := range exps {
 		results := all[(i+1)*np : (i+2)*np]
 		row := ExperimentRow{Experiment: e, PerBench: make([]Comparison, np)}
 		for j, r := range results {
+			if nfail > 0 && (!statuses[j].OK() || !statuses[(i+1)*np+j].OK()) {
+				row.PerBench[j] = Comparison{Benchmark: opts.Profiles[j].Name}
+				continue
+			}
 			row.PerBench[j] = Compare(fr.Baselines[j], r)
 		}
-		row.Average = AverageComparison(row.PerBench)
+		if nfail == 0 {
+			row.Average = AverageComparison(row.PerBench)
+		} else {
+			// Degraded grid: average only the cells whose experiment run
+			// AND baseline column both succeeded — a failed cell's zero
+			// comparison is a placeholder, not a sample.
+			ok := make([]Comparison, 0, np)
+			for j := range row.PerBench {
+				if statuses[j].OK() && statuses[(i+1)*np+j].OK() {
+					ok = append(ok, row.PerBench[j])
+				}
+			}
+			row.Average = AverageComparison(ok)
+		}
 		fr.Rows[i] = row
 	}
 	return fr
+}
+
+// WriteFailures prints the figure's failure report (one line per failed
+// point, with its diagnostic error) to w; a healthy figure prints nothing.
+func (fr *FigureResult) WriteFailures(w io.Writer) {
+	for _, f := range fr.Failures {
+		fmt.Fprintf(w, "FAILED %s\n", f)
+	}
 }
 
 // Row returns the row for an experiment ID, if present.
@@ -130,17 +212,25 @@ func (fr *FigureResult) Row(id string) (ExperimentRow, bool) {
 
 // SweepPoint is one x-axis point of a sensitivity sweep (Figures 6 and 7):
 // the average metrics of the best experiment (C2) against the matching
-// baseline.
+// baseline. Failures is nil on a healthy point; under supervision it lists
+// the grid cells that failed (their contribution is excluded from Average).
 type SweepPoint struct {
-	X       int // depth in stages, or table size in KB
-	Average Comparison
+	X        int // depth in stages, or table size in KB
+	Average  Comparison
+	Failures []PointFailure
 }
 
 // DepthSweep reproduces Figure 6: pipeline depths 6..28 (step 2), C2 vs the
-// baseline at each depth. Points run back-to-back on the shared Runner pool
-// (each point's figure already fans out across the pool), so the sweep
-// reuses simulator instances instead of stacking one pool per point.
+// baseline at each depth. It is DepthSweepE under a background context.
 func DepthSweep(opts Options, depths []int) []SweepPoint {
+	return DepthSweepE(context.Background(), opts, depths)
+}
+
+// DepthSweepE reproduces Figure 6 under ctx with per-point failure
+// isolation. Points run back-to-back on the shared Runner pool (each point's
+// figure already fans out across the pool), so the sweep reuses simulator
+// instances instead of stacking one pool per point.
+func DepthSweepE(ctx context.Context, opts Options, depths []int) []SweepPoint {
 	if depths == nil {
 		for d := 6; d <= 28; d += 2 {
 			depths = append(depths, d)
@@ -150,8 +240,8 @@ func DepthSweep(opts Options, depths []int) []SweepPoint {
 	for i, d := range depths {
 		o := opts
 		o.Depth = d
-		fr := RunFigure(fmt.Sprintf("depth-%d", d), []Experiment{BestExperiment()}, o)
-		points[i] = SweepPoint{X: d, Average: fr.Rows[0].Average}
+		fr := RunFigureE(ctx, fmt.Sprintf("depth-%d", d), []Experiment{BestExperiment()}, o)
+		points[i] = SweepPoint{X: d, Average: fr.Rows[0].Average, Failures: fr.Failures}
 	}
 	sort.Slice(points, func(i, j int) bool { return points[i].X < points[j].X })
 	return points
@@ -159,8 +249,14 @@ func DepthSweep(opts Options, depths []int) []SweepPoint {
 
 // SizeSweep reproduces Figure 7: total predictor+estimator budgets of 8, 16,
 // 32, and 64 KB, split half/half, C2 vs a baseline using the same predictor.
-// Like DepthSweep, points execute back-to-back on the shared Runner pool.
+// It is SizeSweepE under a background context.
 func SizeSweep(opts Options, totalsKB []int) []SweepPoint {
+	return SizeSweepE(context.Background(), opts, totalsKB)
+}
+
+// SizeSweepE reproduces Figure 7 under ctx with per-point failure isolation.
+// Like DepthSweepE, points execute back-to-back on the shared Runner pool.
+func SizeSweepE(ctx context.Context, opts Options, totalsKB []int) []SweepPoint {
 	if totalsKB == nil {
 		totalsKB = []int{8, 16, 32, 64}
 	}
@@ -169,8 +265,8 @@ func SizeSweep(opts Options, totalsKB []int) []SweepPoint {
 		o := opts
 		o.PredBytes = kb * 1024 / 2
 		o.ConfBytes = kb * 1024 / 2
-		fr := RunFigure(fmt.Sprintf("size-%dKB", kb), []Experiment{BestExperiment()}, o)
-		points[i] = SweepPoint{X: kb, Average: fr.Rows[0].Average}
+		fr := RunFigureE(ctx, fmt.Sprintf("size-%dKB", kb), []Experiment{BestExperiment()}, o)
+		points[i] = SweepPoint{X: kb, Average: fr.Rows[0].Average, Failures: fr.Failures}
 	}
 	sort.Slice(points, func(i, j int) bool { return points[i].X < points[j].X })
 	return points

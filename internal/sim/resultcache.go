@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -36,12 +37,19 @@ type cacheKey struct {
 	profile prog.Profile
 }
 
-// cacheEntry is a single-flight slot: the first requester computes the
-// result under the once while later requesters for the same point block and
-// then read it.
+// cacheEntry is a single-flight slot: the requester that creates it (the
+// leader) computes the point and closes done; later requesters for the same
+// point block on done and then read res/err. Failure semantics matter here:
+// a failed or panicked run must never be memoized (the leader unpublishes
+// the entry before releasing its waiters, so the next requester recomputes),
+// and every waiter on an erroring leader receives the leader's error
+// promptly rather than hanging or silently reading a zero Result — the exact
+// hazards of the previous sync.Once design, which marked the once done even
+// when the compute panicked.
 type cacheEntry struct {
-	once sync.Once
+	done chan struct{}
 	res  Result
+	err  error
 }
 
 // ResultCache memoizes Results by canonicalized (Config, Profile). It is
@@ -100,31 +108,86 @@ func canonicalProfile(p prog.Profile) prog.Profile {
 }
 
 // Run returns the memoized Result for (cfg, profile), simulating it on r at
-// most once per cache lifetime. The returned Result carries the caller's
-// exact cfg.
+// most once per cache lifetime. It is the legacy fail-fast wrapper around
+// RunE: a terminal simulation failure is raised as a panic (in every waiter
+// as well as the leader).
 func (c *ResultCache) Run(r *Runner, cfg Config, profile prog.Profile) Result {
+	res, err := c.RunE(context.Background(), r, cfg, profile)
+	if err != nil {
+		panic(err) // fail-fast: legacy contract, typed *RunError for Guard
+	}
+	return res
+}
+
+// RunE returns the memoized Result for (cfg, profile), simulating it on r at
+// most once per cache lifetime; concurrent requests for one point elect a
+// leader and the rest wait. The returned Result carries the caller's exact
+// cfg.
+//
+// Failure semantics: a failed run is never memoized — the leader removes the
+// entry before releasing its waiters, so the point is recomputed on the next
+// request — and each waiter receives the leader's error promptly. A waiter
+// whose own ctx ends first returns its context error without waiting out the
+// leader. Counters: the leader's attempt counts as a miss (successful or
+// not); only successful waiters count as hits.
+func (c *ResultCache) RunE(ctx context.Context, r *Runner, cfg Config, profile prog.Profile) (Result, error) {
 	key := cacheKey{canonicalConfig(cfg), canonicalProfile(profile)}
 	c.mu.Lock()
-	e, ok := c.entries[key]
-	if !ok {
-		e = &cacheEntry{}
+	e, leader := c.entries[key], false
+	if e == nil {
+		e = &cacheEntry{done: make(chan struct{})}
 		c.entries[key] = e
+		leader = true
 	}
 	c.mu.Unlock()
-	computed := false
-	e.once.Do(func() {
-		computed = true
-		e.res = r.Run(cfg, profile)
-	})
-	if computed {
+
+	if leader {
+		published := false
+		defer func() {
+			// Runs on success, error, and panic alike: on anything but a
+			// published success, unpublish the entry and release the
+			// waiters, so no failure is memoized and nobody blocks forever
+			// — even if the compute panicked past RunE's own recovery.
+			if published {
+				return
+			}
+			c.mu.Lock()
+			if c.entries[key] == e {
+				delete(c.entries, key)
+			}
+			c.mu.Unlock()
+			if e.err == nil {
+				e.err = fmt.Errorf("sim: cache leader for %s did not complete", profile.Name)
+			}
+			close(e.done)
+		}()
+		res, err := r.RunE(ctx, cfg, profile)
 		c.misses.Add(1)
-	} else {
-		c.hits.Add(1)
+		if err != nil {
+			e.err = err
+			return Result{}, err // defer unpublishes and releases waiters
+		}
+		e.res = res
+		published = true
+		close(e.done)
+		res.Config = cfg
+		res.Benchmark = profile.Name
+		return res, nil
 	}
+
+	select {
+	case <-e.done:
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+	if e.err != nil {
+		return Result{}, e.err
+	}
+	c.hits.Add(1)
 	res := e.res
 	res.Config = cfg
 	res.Benchmark = profile.Name
-	return res
+	return res, nil
 }
 
 // Stats reports the cache's hit and miss counts since construction (or the
@@ -187,11 +250,24 @@ func WriteCacheSummary(w io.Writer) {
 		total, hits, misses, pct, processCache.Len())
 }
 
-// runCached is the entry the drivers use: it consults the process-wide cache
-// unless caching is disabled.
+// runCached is the fail-fast entry the legacy drivers use: it consults the
+// process-wide cache unless caching is disabled, and panics on a terminal
+// run failure.
 func runCached(r *Runner, cfg Config, profile prog.Profile) Result {
-	if !cachingEnabled.Load() {
-		return r.Run(cfg, profile)
+	res, err := runCachedE(context.Background(), r, cfg, profile)
+	if err != nil {
+		panic(err) // fail-fast: legacy contract, typed *RunError for Guard
 	}
-	return processCache.Run(r, cfg, profile)
+	return res
+}
+
+// runCachedE is the supervised entry: it consults the process-wide cache
+// unless caching is disabled or the configuration carries a fault-injection
+// hook — a faulted run is impure by design (its outcome depends on the
+// hook's state), so it must never be served from or admitted to the cache.
+func runCachedE(ctx context.Context, r *Runner, cfg Config, profile prog.Profile) (Result, error) {
+	if !cachingEnabled.Load() || cfg.Pipe.Fault != nil {
+		return r.RunE(ctx, cfg, profile)
+	}
+	return processCache.RunE(ctx, r, cfg, profile)
 }

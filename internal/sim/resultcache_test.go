@@ -1,10 +1,14 @@
 package sim
 
 import (
+	"context"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
+	"selthrottle/internal/faultinject"
+	"selthrottle/internal/pipe"
 	"selthrottle/internal/prog"
 )
 
@@ -187,6 +191,82 @@ func TestCacheConcurrentSingleFlight(t *testing.T) {
 		if results[w] != results[0] {
 			t.Fatal("concurrent callers observed different results")
 		}
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", c.Len())
+	}
+}
+
+// TestCacheSingleFlightPanickingCompute: when the compute panics (here via a
+// persistently-injected fault), every concurrent caller of the point — the
+// leader and all its waiters — receives the error rather than hanging or
+// reading a zero Result, nothing is counted as a hit, and the failure is
+// never memoized.
+func TestCacheSingleFlightPanickingCompute(t *testing.T) {
+	p, _ := prog.ProfileByName("gzip")
+	cfg := Default()
+	cfg.Instructions, cfg.Warmup = 6000, 1500
+	cfg.Pipe.Fault = faultinject.NewPlan(faultinject.Fault{
+		Kind: faultinject.KindPanic, Stage: pipe.StageIssue, Cycle: 200,
+	})
+
+	c := NewResultCache()
+	const workers = 8
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			_, errs[w] = c.RunE(context.Background(), NewRunner(), cfg, p)
+		}(w)
+	}
+	close(start)
+	wg.Wait()
+
+	for w, err := range errs {
+		re, ok := pipe.AsRunError(err)
+		if !ok || re.Kind != pipe.ErrPanic {
+			t.Fatalf("worker %d: err %v, want ErrPanic RunError", w, err)
+		}
+	}
+	if h, _ := c.Stats(); h != 0 {
+		t.Fatalf("%d hits on an always-failing point", h)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("failure memoized: cache holds %d entries", c.Len())
+	}
+}
+
+// TestCacheRecomputesAfterFailure: a failed run leaves no entry behind, so
+// the next request for the same point recomputes it — and succeeds when the
+// failure was transient.
+func TestCacheRecomputesAfterFailure(t *testing.T) {
+	p, _ := prog.ProfileByName("twolf")
+	cfg := Default()
+	cfg.Instructions, cfg.Warmup = 6000, 1500
+	cfg.Pipe.Fault = faultinject.NewPlan(faultinject.Fault{
+		Kind: faultinject.KindPanic, Stage: pipe.StageIssue, Cycle: 200, Once: true,
+	})
+
+	c := NewResultCache()
+	if _, err := c.RunE(context.Background(), NewRunner(), cfg, p); err == nil {
+		t.Fatal("first attempt did not observe the injected fault")
+	}
+	if c.Len() != 0 {
+		t.Fatal("failed run was memoized")
+	}
+	res, err := c.RunE(context.Background(), NewRunner(), cfg, p)
+	if err != nil {
+		t.Fatalf("recompute after transient failure: %v", err)
+	}
+	if res.Stats.Committed == 0 {
+		t.Fatal("recomputed result is empty")
+	}
+	if _, m := c.Stats(); m != 2 {
+		t.Fatalf("%d misses, want 2 (failure plus recompute)", m)
 	}
 	if c.Len() != 1 {
 		t.Fatalf("cache holds %d entries, want 1", c.Len())

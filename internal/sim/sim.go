@@ -37,6 +37,8 @@
 package sim
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"runtime"
 	"sync"
@@ -152,8 +154,32 @@ func NewRunner() *Runner { return &Runner{} }
 // cfg.Warmup instructions train predictors and caches; measurement covers
 // the next cfg.Instructions. Results are bit-identical to a run on a freshly
 // constructed Runner: every reused component restores its exact as-new
-// state.
+// state. Run is the legacy fail-fast wrapper around RunE: any terminal
+// failure is raised as a *pipe.RunError panic.
 func (r *Runner) Run(cfg Config, profile prog.Profile) Result {
+	res, err := r.RunE(context.Background(), cfg, profile)
+	if err != nil {
+		panic(err) // fail-fast: legacy contract, typed *RunError for Guard
+	}
+	return res
+}
+
+// RunE executes one configuration on one benchmark profile under ctx,
+// returning the result or the terminal failure as an error (a *pipe.RunError
+// for simulator failures — deadlock, invariant panic, injected fault — or
+// the context's own error if ctx was already done on entry). When ctx
+// carries a deadline or cancellation, a watchdog goroutine translates
+// ctx.Done into the pipeline's cooperative Cancel, stopping a runaway point
+// mid-run; the goroutine provably exits before RunE returns.
+//
+// On a clean error (deadlock, cancellation) the Runner remains reusable: the
+// next run Resets every component as usual. After a recovered panic the
+// machine's internal state is undefined, so the Runner discards its cached
+// components and the next run rebuilds them from scratch.
+func (r *Runner) RunE(ctx context.Context, cfg Config, profile prog.Profile) (res Result, err error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	program := getProgram(profile)
 	if r.walker == nil {
 		r.walker = prog.NewWalker(program)
@@ -191,11 +217,51 @@ func (r *Runner) Run(cfg Config, profile prog.Profile) Result {
 	}
 
 	pl, meter := r.pl, r.meter
-	pl.Run(cfg.Warmup)
+
+	// Deadline watchdog: translate ctx.Done into the pipeline's cooperative
+	// Cancel. The stop/exited pair guarantees the goroutine has exited
+	// before RunE returns — a canceled grid must not leak watchdogs, and a
+	// pooled Runner must not carry one into its next lease. Background-like
+	// contexts (nil Done) skip the goroutine entirely, keeping the benchmark
+	// hot path allocation- and goroutine-free.
+	if done := ctx.Done(); done != nil {
+		stop := make(chan struct{})
+		exited := make(chan struct{})
+		go func() {
+			defer close(exited)
+			select {
+			case <-done:
+				pl.Cancel()
+			case <-stop:
+			}
+		}()
+		defer func() {
+			close(stop)
+			<-exited
+		}()
+	}
+	// Safety net for panics outside the pipeline's own recover (component
+	// construction, analysis): convert to an error and poison the Runner.
+	defer func() {
+		if rec := recover(); rec != nil {
+			r.discard()
+			if e, ok := rec.(error); ok {
+				err = e
+			} else {
+				err = fmt.Errorf("sim: run panicked: %v", rec)
+			}
+		}
+	}()
+
+	if _, err := pl.RunE(cfg.Warmup); err != nil {
+		return Result{}, r.failed(ctx, err)
+	}
 	meterAtWarm := *meter
 	statsAtWarm := pl.Stats
 
-	pl.Run(cfg.Warmup + cfg.Instructions)
+	if _, err := pl.RunE(cfg.Warmup + cfg.Instructions); err != nil {
+		return Result{}, r.failed(ctx, err)
+	}
 
 	delta := subMeter(*meter, meterAtWarm)
 	stats := subStats(pl.Stats, statsAtWarm)
@@ -214,8 +280,34 @@ func (r *Runner) Run(cfg Config, profile prog.Profile) Result {
 		Energy:    report.TotalEnergy,
 		EDelay:    report.EnergyDelay,
 		AvgPower:  report.AvgPower,
-	}
+	}, nil
 }
+
+// failed post-processes a pipeline run error: a cancellation is annotated
+// with the context's error (so errors.Is(err, context.DeadlineExceeded)
+// works through the RunError), and a recovered panic or wrong-path commit —
+// after which the machine's internal state is undefined — poisons the Runner
+// so the next run rebuilds every component instead of Resetting corrupt
+// state.
+func (r *Runner) failed(ctx context.Context, err error) error {
+	if re, ok := pipe.AsRunError(err); ok {
+		switch re.Kind {
+		case pipe.ErrCanceled:
+			if re.Cause == nil {
+				re.Cause = ctx.Err()
+			}
+		case pipe.ErrPanic, pipe.ErrWrongPathCommit:
+			r.discard()
+		}
+	}
+	return err
+}
+
+// discard drops every cached component and construction key: the next run
+// builds the Runner from scratch, exactly as if it were new. Used after
+// recovered panics, when Reset cannot be trusted to restore a corrupt
+// machine.
+func (r *Runner) discard() { *r = Runner{} }
 
 // runnerPool shares Runners across every driver in the package. Workers
 // lease a Runner for a whole job list; one-shot Run calls borrow and return

@@ -1,0 +1,183 @@
+package sim
+
+// Run supervision: the failure-isolation layer between the experiment grids
+// and the simulator. A figure or sweep fans out over (configuration x
+// benchmark) points; before this layer, one deadlocked or buggy point
+// panicked inside a worker goroutine and took the whole process down, losing
+// every in-flight point. The Supervisor gives each point the failure
+// semantics of a production service — isolation (a failed point is a
+// per-point status, never a process death), per-attempt deadlines, bounded
+// retry with exponential backoff for transient failures, and graceful
+// degradation (a grid with K failed points still returns the other points
+// plus a failure report) — the same discipline the paper's throttling
+// applies inside the pipeline: slow the misbehaving stream, keep the rest at
+// full speed.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"selthrottle/internal/pipe"
+	"selthrottle/internal/prog"
+)
+
+// Supervisor is the per-point run policy of a figure/sweep grid. The zero
+// value supervises minimally: one attempt per point, no deadline — failures
+// are still isolated into per-point statuses.
+type Supervisor struct {
+	// Timeout bounds each attempt of each point (0 = no per-point
+	// deadline). The point's pipeline is cooperatively canceled when the
+	// deadline expires; the attempt reports a pipe.ErrCanceled RunError
+	// wrapping context.DeadlineExceeded.
+	Timeout time.Duration
+
+	// Retries is the number of re-attempts after the first failure, granted
+	// only to retryable failures (see pipe.RunError.Retryable: the
+	// simulator is deterministic, so only causes that declare themselves
+	// transient qualify). Terminal failures never retry.
+	Retries int
+
+	// Backoff is the delay before the first retry, doubling per subsequent
+	// retry (0 selects DefaultBackoff). The wait is context-aware: a
+	// canceled grid does not sit out its backoff.
+	Backoff time.Duration
+
+	// PointFault, when set, supplies a fault-injection hook per grid point
+	// (nil = healthy). Stress suites use it to force chosen points to
+	// deadlock, panic, or stall; production configurations leave it nil.
+	PointFault func(cfg Config, profile prog.Profile) pipe.FaultHook
+}
+
+// DefaultBackoff is the initial retry backoff when Supervisor.Backoff is 0.
+const DefaultBackoff = 10 * time.Millisecond
+
+// PointStatus is the supervision outcome of one grid point: Err is nil iff
+// the point's Result is valid, and Attempts counts the runs consumed
+// (including retries).
+type PointStatus struct {
+	Err      error
+	Attempts int
+}
+
+// OK reports whether the point produced a valid Result.
+func (s PointStatus) OK() bool { return s.Err == nil }
+
+// PointFailure is one failed grid point in a figure/sweep failure report,
+// locating the point (experiment x benchmark) and carrying its diagnostic
+// error (usually a *pipe.RunError with the machine snapshot).
+type PointFailure struct {
+	Figure     string
+	Experiment string // experiment ID, or "baseline"
+	Benchmark  string
+	Attempts   int
+	Err        error
+}
+
+func (f PointFailure) String() string {
+	return fmt.Sprintf("%s: %s x %s failed after %d attempt(s): %v",
+		f.Figure, f.Experiment, f.Benchmark, f.Attempts, f.Err)
+}
+
+// retryableError reports whether err is worth re-running: a *pipe.RunError
+// whose cause declares itself transient. Context errors and deterministic
+// simulator failures are terminal.
+func retryableError(err error) bool {
+	if re, ok := pipe.AsRunError(err); ok {
+		return re.Retryable()
+	}
+	return false
+}
+
+// runPoint executes one grid point under the supervisor's policy: arm the
+// point's fault hook (stress suites), bound each attempt with the per-point
+// deadline, and retry transient failures with exponential backoff. The
+// zero-value Supervisor degenerates to a single undeadlined attempt.
+func (s *Supervisor) runPoint(ctx context.Context, r *Runner, cfg Config, profile prog.Profile) (Result, PointStatus) {
+	if s.PointFault != nil {
+		if h := s.PointFault(cfg, profile); h != nil {
+			cfg.Pipe.Fault = h
+		}
+	}
+	backoff := s.Backoff
+	if backoff <= 0 {
+		backoff = DefaultBackoff
+	}
+	var status PointStatus
+	for attempt := 0; ; attempt++ {
+		status.Attempts = attempt + 1
+		actx, cancel := ctx, context.CancelFunc(nil)
+		if s.Timeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, s.Timeout)
+		}
+		res, err := runCachedE(actx, r, cfg, profile)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			status.Err = nil
+			return res, status
+		}
+		status.Err = err
+		// Retry only failures that can plausibly differ on a re-run, and
+		// only while the grid itself is still live: a per-attempt deadline
+		// is retryable policy-wise but deterministic here, and a canceled
+		// parent context ends the point immediately.
+		if ctx.Err() != nil || attempt >= s.Retries || !retryableError(err) {
+			return Result{}, status
+		}
+		t := time.NewTimer(backoff)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return Result{}, status
+		case <-t.C:
+		}
+		backoff *= 2
+	}
+}
+
+// RunAllE executes a configuration across profiles under ctx with per-point
+// failure isolation: results are in profile order, and statuses[i].OK()
+// reports whether results[i] is valid. The context-free, fail-fast
+// equivalent is RunAll.
+func RunAllE(ctx context.Context, cfg Config, profiles []prog.Profile) ([]Result, []PointStatus) {
+	var sup Supervisor
+	results := make([]Result, len(profiles))
+	statuses := make([]PointStatus, len(profiles))
+	runJobs(len(profiles), func(r *Runner, i int) {
+		results[i], statuses[i] = sup.runPoint(ctx, r, cfg, profiles[i])
+	})
+	return results, statuses
+}
+
+// Guard runs f, converting an escaped *pipe.RunError panic (the legacy
+// fail-fast API's failure mode) into a diagnostic report on w and a nonzero
+// exit code. The commands wrap their top level in it, so a terminal
+// simulation failure prints the machine snapshot — cycle, policy,
+// occupancies, epoch state, offending instruction — instead of a raw panic
+// trace. Panics that are not run failures propagate unchanged.
+func Guard(w io.Writer, name string, f func() int) (code int) {
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		err, ok := rec.(error)
+		if !ok {
+			panic(rec) // fail-fast: not a run failure, propagate unchanged
+		}
+		var re *pipe.RunError
+		if !errors.As(err, &re) {
+			panic(rec) // fail-fast: not a run failure, propagate unchanged
+		}
+		fmt.Fprintf(w, "%s: simulation failed (%s): %v\n", name, re.Kind, re)
+		if len(re.Stack) > 0 {
+			fmt.Fprintf(w, "%s\n", re.Stack)
+		}
+		code = 1
+	}()
+	return f()
+}

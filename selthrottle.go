@@ -47,10 +47,23 @@
 // cache; SetResultCaching(false) disables it globally (for raw-throughput
 // measurement), and CacheStats/ClearResultCache expose its reuse counters
 // and memory bound.
+//
+// Terminal simulation failures (a deadlocked machine, an internal invariant
+// violation) surface from the error-returning entry points — Runner.RunE and
+// RunFigureE — as a typed *RunError carrying a diagnostic machine snapshot;
+// the legacy Run entry points panic with the same value (wrap a top level in
+// Guard to convert that into a report and an exit code). RunFigureE isolates
+// failures per grid point and supervises each under Options.Supervise
+// (per-point deadlines, bounded retries); see the README's "Failure
+// semantics" section.
 package selthrottle
 
 import (
+	"context"
+	"io"
+
 	"selthrottle/internal/core"
+	"selthrottle/internal/pipe"
 	"selthrottle/internal/prog"
 	"selthrottle/internal/sim"
 )
@@ -76,6 +89,17 @@ type (
 	// Runner is a reusable run context: one simulator instance executing
 	// many (Config, Profile) pairs back-to-back with Reset between runs.
 	Runner = sim.Runner
+	// RunError is a terminal run failure with a diagnostic snapshot of the
+	// machine at the moment of failure (cycle, policy, occupancies, epoch
+	// state, offending instruction). RunE returns it; Run panics with it.
+	RunError = pipe.RunError
+	// Supervisor is the per-point run policy of a supervised figure grid:
+	// per-attempt deadlines and bounded retries (Options.Supervise).
+	Supervisor = sim.Supervisor
+	// PointStatus is one grid point's supervision outcome.
+	PointStatus = sim.PointStatus
+	// PointFailure locates one failed grid point and carries its error.
+	PointFailure = sim.PointFailure
 )
 
 // NewRunner returns an empty reusable run context; components are built on
@@ -110,6 +134,22 @@ func ExperimentByID(id string) (Experiment, bool) { return sim.ExperimentByID(id
 func RunFigure(name string, exps []Experiment, opts Options) *sim.FigureResult {
 	return sim.RunFigure(name, exps, opts)
 }
+
+// RunFigureE reproduces a figure under ctx with per-point failure isolation:
+// a failed point becomes a per-point status and a Failures entry instead of a
+// process-killing panic, healthy points are returned bit-identical to a clean
+// run, and canceling ctx stops in-flight points cooperatively.
+func RunFigureE(ctx context.Context, name string, exps []Experiment, opts Options) *sim.FigureResult {
+	return sim.RunFigureE(ctx, name, exps, opts)
+}
+
+// AsRunError extracts a *RunError from err (directly or wrapped).
+func AsRunError(err error) (*RunError, bool) { return pipe.AsRunError(err) }
+
+// Guard runs f, converting an escaped *RunError panic (the legacy fail-fast
+// API's failure mode) into a diagnostic report on w and exit code 1; other
+// panics propagate unchanged.
+func Guard(w io.Writer, name string, f func() int) int { return sim.Guard(w, name, f) }
 
 // SetResultCaching enables or disables the process-wide result cache shared
 // by Run and every figure/sweep harness, returning the previous setting. The
