@@ -27,12 +27,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"selthrottle/internal/prog"
 	"selthrottle/internal/sim"
@@ -60,6 +63,8 @@ func run() int {
 	legacyLedger := flag.Bool("legacyledger", false, "simulate on the per-instruction power-attribution reference instead of the epoch ledgers (diagnostics; output is byte-identical)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	storeDir := flag.String("store", "", "persistent result store directory (crash-safe disk cache tier; empty = memory only)")
+	cacheEntries := flag.Int("cache-entries", sim.DefaultCacheEntries, "in-memory result cache entry cap (0 = unbounded)")
 	flag.Parse()
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -99,6 +104,24 @@ func run() int {
 		defer sim.WriteCacheSummary(os.Stderr)
 	}
 
+	sim.SetResultCacheLimit(*cacheEntries)
+	if *storeDir != "" {
+		// A disk tier that fails to open degrades to compute-through, never
+		// blocks the reproduction: warn and continue on the memory tier.
+		held, err := sim.UseDiskStore(*storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hpca03: -store %s unavailable, continuing without a disk tier: %v\n", *storeDir, err)
+		} else {
+			fmt.Fprintf(os.Stderr, "hpca03: result store %s: %d entries\n", *storeDir, held)
+		}
+	}
+
+	// SIGINT/SIGTERM cancels the grid cooperatively: in-flight points stop at
+	// their next cancellation check, completed points stay reported, and the
+	// process exits with the partial-grid code instead of dying mid-write.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stopSignals()
+
 	opts := sim.Options{
 		Instructions:      *n,
 		Warmup:            *warmup,
@@ -126,74 +149,81 @@ func run() int {
 	// on stderr and a nonzero exit, instead of a raw panic trace killing the
 	// process mid-report; supervised figure grids isolate failures per point
 	// and report them via runFigure below.
-	return sim.Guard(os.Stderr, "hpca03", func() int { return dispatch(*exp, *id, opts) })
+	code := sim.Guard(os.Stderr, "hpca03", func() int { return dispatch(ctx, *exp, *id, opts) })
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "hpca03: interrupted; completed points reported above")
+		if code == 0 {
+			code = 1
+		}
+	}
+	return code
 }
 
 // dispatch runs the selected experiment(s), returning the process exit code:
 // 0 on full success, 1 when any supervised grid point failed, 2 on usage
 // errors.
-func dispatch(exp, id string, opts sim.Options) int {
+func dispatch(ctx context.Context, exp, id string, opts sim.Options) int {
 	failed := 0
 	switch exp {
 	case "table1":
-		runTable1(opts)
+		failed += runTable1(ctx, opts)
 	case "table2":
-		runTable2(opts)
+		failed += runTable2(ctx, opts)
 	case "table3":
 		sim.WriteTable3(os.Stdout, sim.Default())
 	case "fig1":
-		failed += runFigure("Figure 1: oracle fetch/decode/select", sim.OracleExperiments(), opts)
+		failed += runFigure(ctx, "Figure 1: oracle fetch/decode/select", sim.OracleExperiments(), opts)
 	case "fig3":
-		failed += runFigure("Figure 3: fetch throttling", sim.FetchExperiments(), opts)
+		failed += runFigure(ctx, "Figure 3: fetch throttling", sim.FetchExperiments(), opts)
 	case "fig4":
-		failed += runFigure("Figure 4: decode throttling", sim.DecodeExperiments(), opts)
+		failed += runFigure(ctx, "Figure 4: decode throttling", sim.DecodeExperiments(), opts)
 	case "fig5":
-		failed += runFigure("Figure 5: selection throttling", sim.SelectionExperiments(), opts)
+		failed += runFigure(ctx, "Figure 5: selection throttling", sim.SelectionExperiments(), opts)
 	case "fig6":
-		points := sim.DepthSweep(opts, nil)
+		points := sim.DepthSweepE(ctx, opts, nil)
 		failed += reportSweepFailures(points)
 		sim.WriteSweep(os.Stdout, "Figure 6: pipeline depth (experiment C2)", "stages", points)
 	case "fig7":
-		points := sim.SizeSweep(opts, nil)
+		points := sim.SizeSweepE(ctx, opts, nil)
 		failed += reportSweepFailures(points)
 		sim.WriteSweep(os.Stdout, "Figure 7: predictor+estimator size (experiment C2)", "KB", points)
 	case "conf":
-		sim.WriteConfidence(os.Stdout, sim.RunConfidence(opts))
+		failed += runConfidence(ctx, opts)
 	case "ablation":
-		failed += runFigure("Ablation: estimator x mechanism cross", sim.EstimatorCrossExperiments(), opts)
+		failed += runFigure(ctx, "Ablation: estimator x mechanism cross", sim.EstimatorCrossExperiments(), opts)
 		fmt.Println()
-		failed += runFigure("Ablation: Pipeline Gating threshold sweep", sim.GateThresholdExperiments(), opts)
+		failed += runFigure(ctx, "Ablation: Pipeline Gating threshold sweep", sim.GateThresholdExperiments(), opts)
 		fmt.Println()
-		failed += runFigure("Ablation: C2 per-class contributions", sim.EscalationAblationExperiments(), opts)
+		failed += runFigure(ctx, "Ablation: C2 per-class contributions", sim.EscalationAblationExperiments(), opts)
 	case "run":
 		e, ok := sim.ExperimentByID(id)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "hpca03: unknown experiment id %q\n", id)
 			return 2
 		}
-		failed += runFigure("Experiment "+e.ID+": "+e.Label, []sim.Experiment{e}, opts)
+		failed += runFigure(ctx, "Experiment "+e.ID+": "+e.Label, []sim.Experiment{e}, opts)
 	case "all":
 		sim.WriteTable3(os.Stdout, sim.Default())
 		fmt.Println()
-		runTable2(opts)
+		failed += runTable2(ctx, opts)
 		fmt.Println()
-		runTable1(opts)
+		failed += runTable1(ctx, opts)
 		fmt.Println()
-		sim.WriteConfidence(os.Stdout, sim.RunConfidence(opts))
+		failed += runConfidence(ctx, opts)
 		fmt.Println()
-		failed += runFigure("Figure 1: oracle fetch/decode/select", sim.OracleExperiments(), opts)
+		failed += runFigure(ctx, "Figure 1: oracle fetch/decode/select", sim.OracleExperiments(), opts)
 		fmt.Println()
-		failed += runFigure("Figure 3: fetch throttling", sim.FetchExperiments(), opts)
+		failed += runFigure(ctx, "Figure 3: fetch throttling", sim.FetchExperiments(), opts)
 		fmt.Println()
-		failed += runFigure("Figure 4: decode throttling", sim.DecodeExperiments(), opts)
+		failed += runFigure(ctx, "Figure 4: decode throttling", sim.DecodeExperiments(), opts)
 		fmt.Println()
-		failed += runFigure("Figure 5: selection throttling", sim.SelectionExperiments(), opts)
+		failed += runFigure(ctx, "Figure 5: selection throttling", sim.SelectionExperiments(), opts)
 		fmt.Println()
-		points := sim.DepthSweep(opts, nil)
+		points := sim.DepthSweepE(ctx, opts, nil)
 		failed += reportSweepFailures(points)
 		sim.WriteSweep(os.Stdout, "Figure 6: pipeline depth (experiment C2)", "stages", points)
 		fmt.Println()
-		points = sim.SizeSweep(opts, nil)
+		points = sim.SizeSweepE(ctx, opts, nil)
 		failed += reportSweepFailures(points)
 		sim.WriteSweep(os.Stdout, "Figure 7: predictor+estimator size (experiment C2)", "KB", points)
 	default:
@@ -207,19 +237,47 @@ func dispatch(exp, id string, opts sim.Options) int {
 	return 0
 }
 
-func runTable1(opts sim.Options) {
-	sim.WriteTable1(os.Stdout, sim.RunTable1(opts))
+// runTable1 reproduces Table 1 under ctx; the table is all-or-nothing, so a
+// failed point (or cancellation) prints its diagnostic and counts as one
+// failure without printing a partial table.
+func runTable1(ctx context.Context, opts sim.Options) int {
+	t1, err := sim.RunTable1E(ctx, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "FAILED table1: %v\n", err)
+		return 1
+	}
+	sim.WriteTable1(os.Stdout, t1)
+	return 0
 }
 
-func runTable2(opts sim.Options) {
-	sim.WriteTable2(os.Stdout, sim.RunTable2(opts))
+// runTable2 reproduces Table 2 under ctx, all-or-nothing like runTable1.
+func runTable2(ctx context.Context, opts sim.Options) int {
+	rows, err := sim.RunTable2E(ctx, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "FAILED table2: %v\n", err)
+		return 1
+	}
+	sim.WriteTable2(os.Stdout, rows)
+	return 0
 }
 
-// runFigure runs one supervised figure grid, prints the healthy results to
-// stdout and any per-point failure diagnostics to stderr, and returns the
-// number of failed points.
-func runFigure(name string, exps []sim.Experiment, opts sim.Options) int {
-	fr := sim.RunFigure(name, exps, opts)
+// runConfidence measures the estimator operating points under ctx,
+// all-or-nothing like the tables.
+func runConfidence(ctx context.Context, opts sim.Options) int {
+	crs, err := sim.RunConfidenceE(ctx, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "FAILED confidence: %v\n", err)
+		return 1
+	}
+	sim.WriteConfidence(os.Stdout, crs)
+	return 0
+}
+
+// runFigure runs one supervised figure grid under ctx, prints the healthy
+// results to stdout and any per-point failure diagnostics to stderr, and
+// returns the number of failed points.
+func runFigure(ctx context.Context, name string, exps []sim.Experiment, opts sim.Options) int {
+	fr := sim.RunFigureE(ctx, name, exps, opts)
 	sim.WriteFigure(os.Stdout, fr)
 	fr.WriteFailures(os.Stderr)
 	return len(fr.Failures)

@@ -13,9 +13,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"text/tabwriter"
 
 	"selthrottle/internal/power"
@@ -46,22 +49,28 @@ func run() int {
 	if *warmup == 0 {
 		*warmup = *n / 4
 	}
+	// SIGINT/SIGTERM cancels the calibration passes cooperatively; the
+	// sections printed so far stay complete.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stopSignals()
 	return sim.Guard(os.Stderr, "stcalib", func() int {
-		calibrate(*n, *warmup, *tune)
-		return 0
+		return calibrate(ctx, *n, *warmup, *tune)
 	})
 }
 
-func calibrate(n, warmup uint64, tune bool) {
+func calibrate(ctx context.Context, n, warmup uint64, tune bool) int {
 	if tune {
-		tuneNoiseScales(n, warmup)
-		return
+		return tuneNoiseScales(ctx, n, warmup)
 	}
 
 	opts := sim.Options{Instructions: n, Warmup: warmup}
 
 	fmt.Println("== per-benchmark calibration (baseline config)")
-	rows := sim.RunTable2(opts)
+	rows, err := sim.RunTable2E(ctx, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stcalib: table 2 pass failed: %v\n", err)
+		return 1
+	}
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprint(tw, "bench\tmiss% meas\tmiss% paper\tbranch frac\tIPC\n")
 	for _, r := range rows {
@@ -72,11 +81,19 @@ func calibrate(n, warmup uint64, tune bool) {
 	tw.Flush()
 
 	fmt.Println()
-	crs := sim.RunConfidence(opts)
+	crs, err := sim.RunConfidenceE(ctx, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stcalib: confidence pass failed: %v\n", err)
+		return 1
+	}
 	sim.WriteConfidence(os.Stdout, crs)
 
 	fmt.Println()
-	t1 := sim.RunTable1(opts)
+	t1, err := sim.RunTable1E(ctx, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stcalib: table 1 pass failed: %v\n", err)
+		return 1
+	}
 	sim.WriteTable1(os.Stdout, t1)
 
 	fmt.Println("\n== measured baseline utilization (paste into internal/power baselineUtil)")
@@ -105,6 +122,7 @@ func calibrate(n, warmup uint64, tune bool) {
 			float64(r.Stats.WrongPathFetched)/mp)
 	}
 	tw.Flush()
+	return 0
 }
 
 // titled maps a unit name to its Go constant suffix (icache -> ICache, ...).

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -13,7 +14,9 @@ import (
 // the measured gshare misprediction rate on the paper's Table 2 value, by
 // bisection on the (monotone) noise-scale/miss-rate relationship. It prints
 // the resulting scales as Go literals to paste into internal/prog/profile.go.
-func tuneNoiseScales(n, warmup uint64) {
+// Canceling ctx (Ctrl-C) stops the search and suppresses the paste block —
+// a partial grid search would print wrong constants.
+func tuneNoiseScales(ctx context.Context, n, warmup uint64) int {
 	profiles := prog.Profiles()
 	type result struct {
 		name  string
@@ -22,6 +25,7 @@ func tuneNoiseScales(n, warmup uint64) {
 	}
 	results := make([]result, len(profiles))
 	var wg sync.WaitGroup
+	var sup sim.Supervisor
 	for i, p := range profiles {
 		wg.Add(1)
 		go func(i int, p prog.Profile) {
@@ -36,7 +40,10 @@ func tuneNoiseScales(n, warmup uint64) {
 				cfg := sim.Default()
 				cfg.Instructions = n
 				cfg.Warmup = warmup
-				r := sim.Run(cfg, p)
+				r, st := sup.RunPointE(ctx, cfg, p)
+				if !st.OK() {
+					return // canceled or failed: this profile reports nothing
+				}
 				if err := math.Abs(r.MissRate - target); err < bestErr {
 					best, bestMiss, bestErr = f, r.MissRate, err
 				}
@@ -45,9 +52,14 @@ func tuneNoiseScales(n, warmup uint64) {
 		}(i, p)
 	}
 	wg.Wait()
+	if ctx.Err() != nil {
+		fmt.Println("== tuning interrupted; no constants to paste")
+		return 1
+	}
 	fmt.Println("== tuned gate frequencies (paste HardFreqOverride into profiles)")
 	for i, r := range results {
 		fmt.Printf("%-10s HardFreqOverride: %.3f,   // measured miss %.1f%% target %.1f%%\n",
 			r.name, r.scale, 100*r.miss, profiles[i].PaperMissPct)
 	}
+	return 0
 }

@@ -1,0 +1,286 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"selthrottle/internal/prog"
+	"selthrottle/internal/sim"
+)
+
+func testServer(queueCap int, timeout time.Duration) *server {
+	opts := sim.Options{Instructions: 6000, Warmup: 1500}
+	return newServer(opts, sim.Supervisor{}, queueCap, timeout, 1_000_000)
+}
+
+// stubPoint installs a runPoint stub returning a fixed Result.
+func stubPoint(s *server, ipc float64) {
+	s.runPoint = func(_ context.Context, _ sim.Config, p prog.Profile) (sim.Result, sim.PointStatus) {
+		return sim.Result{Benchmark: p.Name, IPC: ipc, Seconds: 0.5}, sim.PointStatus{Attempts: 1}
+	}
+}
+
+func get(t *testing.T, h http.Handler, url string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+	return rec
+}
+
+func TestHealthz(t *testing.T) {
+	s := testServer(1, 0)
+	rec := get(t, s.routes(), "/healthz")
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "ok") {
+		t.Fatalf("healthz: %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestPointHappyPathAndParams(t *testing.T) {
+	s := testServer(2, 0)
+	stubPoint(s, 1.75)
+	h := s.routes()
+
+	rec := get(t, h, "/v1/point?bench=gzip&id=C2")
+	if rec.Code != 200 {
+		t.Fatalf("point: %d %s", rec.Code, rec.Body.String())
+	}
+	var resp pointResponse
+	if err := json.NewDecoder(rec.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Experiment != "C2" || resp.Result.IPC != 1.75 || resp.Result.Benchmark != "gzip" {
+		t.Fatalf("point body: %+v", resp)
+	}
+
+	for _, bad := range []string{
+		"/v1/point",                       // missing bench
+		"/v1/point?bench=nope",            // unknown benchmark
+		"/v1/point?bench=gzip&id=zzz",     // unknown experiment
+		"/v1/point?bench=gzip&n=0",        // bad n
+		"/v1/point?bench=gzip&n=99999999", // over the per-request ceiling (maxN 1e6)
+		"/v1/point?bench=gzip&depth=99",   // depth out of range
+		"/v1/point?bench=gzip&kb=9999",    // kb out of range
+	} {
+		if rec := get(t, h, bad); rec.Code != 400 {
+			t.Fatalf("%s: %d, want 400", bad, rec.Code)
+		}
+	}
+}
+
+func TestPointCompareRunsBaseline(t *testing.T) {
+	s := testServer(2, 0)
+	calls := 0
+	s.runPoint = func(_ context.Context, cfg sim.Config, p prog.Profile) (sim.Result, sim.PointStatus) {
+		calls++
+		ipc := 1.0
+		if cfg.Policy.Name != "" && calls == 1 {
+			ipc = 1.2 // the experiment request comes first
+		}
+		return sim.Result{Benchmark: p.Name, IPC: ipc, Seconds: 1 / ipc, Energy: 1, EDelay: 1, AvgPower: 1}, sim.PointStatus{Attempts: 1}
+	}
+	rec := get(t, s.routes(), "/v1/point?bench=gzip&id=C2&compare=1")
+	if rec.Code != 200 {
+		t.Fatalf("compare: %d %s", rec.Code, rec.Body.String())
+	}
+	var resp pointResponse
+	json.NewDecoder(rec.Body).Decode(&resp)
+	if calls != 2 || resp.Comparison == nil {
+		t.Fatalf("compare ran %d points, comparison %v", calls, resp.Comparison)
+	}
+}
+
+// TestShedWith429: with the single queue slot held, the next request is
+// rejected immediately with 429 + Retry-After and counted as shed.
+func TestShedWith429(t *testing.T) {
+	s := testServer(1, 0)
+	admitted := make(chan struct{})
+	release := make(chan struct{})
+	s.runPoint = func(_ context.Context, _ sim.Config, p prog.Profile) (sim.Result, sim.PointStatus) {
+		close(admitted)
+		<-release
+		return sim.Result{Benchmark: p.Name}, sim.PointStatus{Attempts: 1}
+	}
+	h := s.routes()
+	done := make(chan *httptest.ResponseRecorder)
+	go func() {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/point?bench=gzip", nil))
+		done <- rec
+	}()
+	<-admitted
+
+	rec := get(t, h, "/v1/point?bench=gzip")
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated request: %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	close(release)
+	if first := <-done; first.Code != 200 {
+		t.Fatalf("admitted request: %d", first.Code)
+	}
+	if s.shed.Load() != 1 || s.served.Load() != 1 {
+		t.Fatalf("counters: shed %d served %d", s.shed.Load(), s.served.Load())
+	}
+	// The slot is free again: no lingering saturation.
+	stubPoint(s, 1)
+	if rec := get(t, h, "/v1/point?bench=gzip"); rec.Code != 200 {
+		t.Fatalf("after release: %d", rec.Code)
+	}
+}
+
+// TestDeadlineMapsTo504: a point that only completes when its context
+// expires surfaces as 504, not 500 and not a hang.
+func TestDeadlineMapsTo504(t *testing.T) {
+	s := testServer(1, 20*time.Millisecond)
+	s.runPoint = func(ctx context.Context, _ sim.Config, _ prog.Profile) (sim.Result, sim.PointStatus) {
+		<-ctx.Done()
+		return sim.Result{}, sim.PointStatus{Err: ctx.Err(), Attempts: 1}
+	}
+	rec := get(t, s.routes(), "/v1/point?bench=gzip")
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("deadline: %d %s, want 504", rec.Code, rec.Body.String())
+	}
+	if s.failed.Load() != 1 {
+		t.Fatalf("failed counter = %d", s.failed.Load())
+	}
+}
+
+func TestCanceledMapsTo503(t *testing.T) {
+	s := testServer(1, 0)
+	s.runPoint = func(_ context.Context, _ sim.Config, _ prog.Profile) (sim.Result, sim.PointStatus) {
+		return sim.Result{}, sim.PointStatus{Err: context.Canceled, Attempts: 1}
+	}
+	if rec := get(t, s.routes(), "/v1/point?bench=gzip"); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("canceled: %d, want 503", rec.Code)
+	}
+}
+
+// TestSweepStreamsNDJSON: the depth sweep streams one self-contained JSON
+// line per x value, and a point's grid failures ride along on its line
+// instead of failing the response.
+func TestSweepStreamsNDJSON(t *testing.T) {
+	s := testServer(1, 0)
+	s.runFigure = func(_ context.Context, name string, exps []sim.Experiment, opts sim.Options) *sim.FigureResult {
+		fr := &sim.FigureResult{
+			Name: name,
+			Rows: []sim.ExperimentRow{{Average: sim.Comparison{Speedup: float64(opts.Depth)}}},
+		}
+		if opts.Depth == 10 {
+			fr.Statuses = make([]sim.PointStatus, 1)
+			fr.Failures = []sim.PointFailure{{Figure: name, Experiment: "C2", Benchmark: "gzip", Attempts: 1}}
+		}
+		return fr
+	}
+	rec := get(t, s.routes(), "/v1/sweep?kind=depth")
+	if rec.Code != 200 {
+		t.Fatalf("sweep: %d %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	var lines []sweepPointJSON
+	sc := bufio.NewScanner(rec.Body)
+	for sc.Scan() {
+		var pt sweepPointJSON
+		if err := json.Unmarshal(sc.Bytes(), &pt); err != nil {
+			t.Fatalf("non-JSON sweep line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, pt)
+	}
+	if len(lines) != 12 { // depths 6..28 step 2
+		t.Fatalf("%d sweep lines, want 12", len(lines))
+	}
+	for i, pt := range lines {
+		wantX := 6 + 2*i
+		if pt.X != wantX || pt.Average.Speedup != float64(wantX) {
+			t.Fatalf("line %d: %+v", i, pt)
+		}
+		if (pt.X == 10) != (len(pt.Failures) == 1) {
+			t.Fatalf("line %d failures: %v", i, pt.Failures)
+		}
+	}
+	if rec := get(t, s.routes(), "/v1/sweep?kind=nope"); rec.Code != 400 {
+		t.Fatalf("bad sweep kind: %d", rec.Code)
+	}
+}
+
+// TestFigureEndpointDegradesPartially: a grid with some failed points still
+// returns 200 with the failures listed; a grid where everything failed maps
+// to the failure's status code.
+func TestFigureEndpointDegradesPartially(t *testing.T) {
+	s := testServer(1, 0)
+	s.runFigure = func(_ context.Context, name string, exps []sim.Experiment, _ sim.Options) *sim.FigureResult {
+		return &sim.FigureResult{
+			Name:      name,
+			Baselines: []sim.Result{{Benchmark: "gzip", IPC: 1}},
+			Rows:      []sim.ExperimentRow{{Experiment: exps[0], PerBench: []sim.Comparison{{Benchmark: "gzip"}}}},
+			Statuses:  make([]sim.PointStatus, 4),
+			Failures:  []sim.PointFailure{{Figure: name, Experiment: "A1", Benchmark: "gzip", Attempts: 2}},
+		}
+	}
+	rec := get(t, s.routes(), "/v1/figure?fig=fig3")
+	if rec.Code != 200 {
+		t.Fatalf("degraded figure: %d", rec.Code)
+	}
+	var resp figureResponse
+	json.NewDecoder(rec.Body).Decode(&resp)
+	if len(resp.Failures) != 1 || !strings.Contains(resp.Failures[0], "A1") {
+		t.Fatalf("failures: %v", resp.Failures)
+	}
+
+	s.runFigure = func(_ context.Context, name string, _ []sim.Experiment, _ sim.Options) *sim.FigureResult {
+		st := []sim.PointStatus{{Err: context.DeadlineExceeded, Attempts: 1}}
+		return &sim.FigureResult{Name: name, Statuses: st,
+			Failures: []sim.PointFailure{{Figure: name, Err: context.DeadlineExceeded, Attempts: 1}}}
+	}
+	if rec := get(t, s.routes(), "/v1/figure?fig=fig3"); rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("all-failed figure: %d, want 504", rec.Code)
+	}
+	if rec := get(t, s.routes(), "/v1/figure?fig=bogus"); rec.Code != 400 {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestStatszShape(t *testing.T) {
+	s := testServer(3, 0)
+	stubPoint(s, 1)
+	h := s.routes()
+	get(t, h, "/v1/point?bench=gzip")
+	rec := get(t, h, "/statsz")
+	if rec.Code != 200 {
+		t.Fatalf("statsz: %d", rec.Code)
+	}
+	var resp statszResponse
+	if err := json.NewDecoder(rec.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Requests.Served != 1 || resp.Queue.Capacity != 3 || resp.Queue.Depth != 0 {
+		t.Fatalf("statsz body: %+v", resp)
+	}
+}
+
+// TestPointEndToEnd runs one real (small) simulation through the full
+// handler stack — no stubs — to pin the wiring between HTTP parameters,
+// BaseConfig, the supervisor, and the shared cache.
+func TestPointEndToEnd(t *testing.T) {
+	s := testServer(1, 30*time.Second)
+	rec := get(t, s.routes(), "/v1/point?bench=gzip&n=6000&warmup=1500")
+	if rec.Code != 200 {
+		t.Fatalf("end-to-end point: %d %s", rec.Code, rec.Body.String())
+	}
+	var resp pointResponse
+	if err := json.NewDecoder(rec.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Result.IPC <= 0 || resp.Result.Benchmark != "gzip" {
+		t.Fatalf("end-to-end result: %+v", resp.Result)
+	}
+}

@@ -10,9 +10,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"text/tabwriter"
 
 	"selthrottle/internal/bpred"
@@ -42,12 +45,17 @@ func run() int {
 	if *verbose {
 		defer sim.WriteCacheSummary(os.Stderr)
 	}
+	// SIGINT/SIGTERM ends the trace at the next interval boundary: the
+	// intervals printed so far stay flushed, the exit code reports the
+	// truncation.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stopSignals()
 	return sim.Guard(os.Stderr, "sttrace", func() int {
-		return trace(*bench, *id, *n, *interval)
+		return trace(ctx, *bench, *id, *n, *interval)
 	})
 }
 
-func trace(bench, id string, n uint64, interval int64) int {
+func trace(ctx context.Context, bench, id string, n uint64, interval int64) int {
 	profile, ok := prog.ProfileByName(bench)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "sttrace: unknown benchmark %q\n", bench)
@@ -90,6 +98,15 @@ func trace(bench, id string, n uint64, interval int64) int {
 
 	prev := pl.Stats
 	for pl.Stats.Committed < n {
+		// The loop drives Step directly (no RunE watchdog), so cancellation
+		// is checked here, once per interval — cheap, and an interval is the
+		// trace's natural truncation boundary anyway.
+		if ctx.Err() != nil {
+			tw.Flush()
+			fmt.Fprintf(os.Stderr, "sttrace: interrupted at cycle %d (%d/%d instructions); intervals above are complete\n",
+				pl.Cycle(), pl.Stats.Committed, n)
+			return 1
+		}
 		target := pl.Cycle() + interval
 		for pl.Cycle() < target && pl.Stats.Committed < n {
 			pl.Step()
@@ -151,7 +168,20 @@ func trace(bench, id string, n uint64, interval int64) int {
 		baseCfg.Policy = core.Baseline()
 		baseCfg.Estimator = sim.EstBPRU
 		baseCfg.Pipe.Oracle = core.OracleNone
-		cmp := sim.Compare(sim.Run(baseCfg, profile), sim.Run(runCfg, profile))
+		// Supervised, ctx-aware runs: Ctrl-C during the comparison cancels
+		// it cooperatively instead of finishing two full simulations first.
+		var sup sim.Supervisor
+		base, bst := sup.RunPointE(ctx, baseCfg, profile)
+		if !bst.OK() {
+			fmt.Fprintf(os.Stderr, "sttrace: baseline comparison run failed: %v\n", bst.Err)
+			return 1
+		}
+		res, rst := sup.RunPointE(ctx, runCfg, profile)
+		if !rst.OK() {
+			fmt.Fprintf(os.Stderr, "sttrace: %s comparison run failed: %v\n", id, rst.Err)
+			return 1
+		}
+		cmp := sim.Compare(base, res)
 		fmt.Printf("vs baseline: speedup %.3f, power %.1f%%, energy %.1f%%, E-D %.1f%%\n",
 			cmp.Speedup, cmp.PowerSaving, cmp.EnergySaving, cmp.EDImprovement)
 	}

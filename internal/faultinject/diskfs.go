@@ -1,0 +1,266 @@
+package faultinject
+
+// Disk-fault injection: a store.FS middlebox that subjects the result
+// store to the disk's real failure modes — torn writes cut at a chosen
+// byte, read errors, a full disk, slow I/O — with the same determinism
+// discipline as the pipeline fault plans: a fault fires on the Nth matching
+// operation, optionally once, so every corruption-recovery test reproduces
+// bit for bit from its seed.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"selthrottle/internal/store"
+)
+
+// DiskOp classifies the FS operation a disk fault targets.
+type DiskOp uint8
+
+// Disk operations.
+const (
+	OpRead DiskOp = iota + 1
+	OpWrite
+	OpRename
+	OpSyncDir
+)
+
+// String names the operation for fault messages.
+func (o DiskOp) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpRename:
+		return "rename"
+	case OpSyncDir:
+		return "syncdir"
+	}
+	return "unknown"
+}
+
+// DiskFaultKind is the shape of one injected disk fault.
+type DiskFaultKind uint8
+
+// Disk fault kinds.
+const (
+	// DiskTornWrite truncates a WriteFile at byte TornAt — the first
+	// TornAt bytes reach the inner FS, the rest are lost — and reports an
+	// error, modeling a write interrupted by a crash or I/O failure. With
+	// the store's temp-file protocol the torn bytes land in an unpublished
+	// temp file; tests that want a *published* torn entry tear the Rename's
+	// source by pointing the fault at OpWrite and skipping the error
+	// (SilentTorn), which leaves a valid-looking but short temp file that
+	// the rename then publishes.
+	DiskTornWrite DiskFaultKind = iota + 1
+	// DiskReadError fails a ReadFile outright.
+	DiskReadError
+	// DiskENOSPC fails a WriteFile (or Rename/SyncDir) with ENOSPC,
+	// modeling a full disk.
+	DiskENOSPC
+	// DiskSlow sleeps Delay before performing the operation, modeling a
+	// degraded device; the operation itself succeeds.
+	DiskSlow
+)
+
+// String names the kind for fault messages.
+func (k DiskFaultKind) String() string {
+	switch k {
+	case DiskTornWrite:
+		return "torn-write"
+	case DiskReadError:
+		return "read-error"
+	case DiskENOSPC:
+		return "enospc"
+	case DiskSlow:
+		return "slow"
+	}
+	return "unknown"
+}
+
+// DiskFault is one injected disk failure: Kind fired on the After'th
+// subsequent Op whose path contains Match.
+type DiskFault struct {
+	Kind  DiskFaultKind
+	Op    DiskOp // operation the fault applies to
+	Match string // path substring filter; "" matches every path
+
+	// After is the number of matching operations allowed through before
+	// the fault arms: 0 fires on the first match, 1 on the second, and so
+	// on. Deterministic victim selection for randomized suites comes from
+	// seeding this with xrand.
+	After int
+
+	// TornAt is a DiskTornWrite's cut point in bytes.
+	TornAt int
+
+	// SilentTorn makes a DiskTornWrite report success after writing the
+	// truncated prefix — the crash-consistency shape where the process
+	// dies before it can observe the failure. The store will go on to
+	// publish the torn bytes, which is exactly what the recovery scan and
+	// CRC must catch.
+	SilentTorn bool
+
+	// Delay is a DiskSlow fault's added latency.
+	Delay time.Duration
+
+	// Once disarms the fault after its first firing; otherwise it fires on
+	// every matching operation past After.
+	Once bool
+}
+
+// InjectedDisk is the error payload of an injected disk fault (torn write,
+// read error; ENOSPC faults return syscall.ENOSPC wrapped in it so
+// errors.Is(err, syscall.ENOSPC) holds).
+type InjectedDisk struct {
+	Kind DiskFaultKind
+	Op   DiskOp
+	Path string
+	Err  error // underlying errno for ENOSPC, nil otherwise
+}
+
+// Error describes the injected failure.
+func (e *InjectedDisk) Error() string {
+	return fmt.Sprintf("faultinject: injected %s on %s %s", e.Kind, e.Op, e.Path)
+}
+
+// Unwrap exposes the underlying errno (ENOSPC) to errors.Is.
+func (e *InjectedDisk) Unwrap() error { return e.Err }
+
+// DiskFS wraps an inner store.FS with a deterministic disk-fault schedule.
+// It is safe for concurrent use (the store may Put from many grid workers);
+// the per-fault match counters are mutex-guarded, so "the Nth matching op"
+// is well defined even under concurrency — tests that depend on exact
+// victim identity serialize their I/O.
+type DiskFS struct {
+	inner store.FS
+
+	mu     sync.Mutex
+	faults []DiskFault
+	seen   []int  // matching-op count per fault
+	fired  []bool // Once latches
+}
+
+// NewDiskFS wraps inner (nil selects the real filesystem) with the given
+// fault schedule.
+func NewDiskFS(inner store.FS, faults ...DiskFault) *DiskFS {
+	if inner == nil {
+		inner = store.OSFS{}
+	}
+	return &DiskFS{
+		inner:  inner,
+		faults: faults,
+		seen:   make([]int, len(faults)),
+		fired:  make([]bool, len(faults)),
+	}
+}
+
+// Reset re-arms every fault and zeroes the match counters.
+func (d *DiskFS) Reset() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	clear(d.seen)
+	clear(d.fired)
+}
+
+// hit finds the first armed fault matching (op, path), advancing match
+// counters and latching Once faults. It returns nil when no fault fires.
+func (d *DiskFS) hit(op DiskOp, path string) *DiskFault {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := range d.faults {
+		f := &d.faults[i]
+		if f.Op != op || d.fired[i] || !strings.Contains(path, f.Match) {
+			continue
+		}
+		n := d.seen[i]
+		d.seen[i]++
+		if n < f.After {
+			continue
+		}
+		if f.Once {
+			d.fired[i] = true
+		}
+		return f
+	}
+	return nil
+}
+
+// MkdirAll implements store.FS (never faulted: directory creation is part
+// of Open's must-succeed surface).
+func (d *DiskFS) MkdirAll(path string) error { return d.inner.MkdirAll(path) }
+
+// ReadDir implements store.FS (never faulted; per-entry faults come from
+// ReadFile).
+func (d *DiskFS) ReadDir(path string) ([]string, error) { return d.inner.ReadDir(path) }
+
+// ReadFile implements store.FS.
+func (d *DiskFS) ReadFile(path string) ([]byte, error) {
+	if f := d.hit(OpRead, path); f != nil {
+		switch f.Kind {
+		case DiskReadError:
+			return nil, &InjectedDisk{Kind: f.Kind, Op: OpRead, Path: path}
+		case DiskSlow:
+			time.Sleep(f.Delay)
+		}
+	}
+	return d.inner.ReadFile(path)
+}
+
+// WriteFile implements store.FS.
+func (d *DiskFS) WriteFile(path string, data []byte) error {
+	if f := d.hit(OpWrite, path); f != nil {
+		switch f.Kind {
+		case DiskTornWrite:
+			cut := f.TornAt
+			if cut > len(data) {
+				cut = len(data)
+			}
+			// The prefix reaches the device; the tail is lost.
+			werr := d.inner.WriteFile(path, data[:cut])
+			if f.SilentTorn {
+				return werr
+			}
+			return &InjectedDisk{Kind: f.Kind, Op: OpWrite, Path: path}
+		case DiskENOSPC:
+			return &InjectedDisk{Kind: f.Kind, Op: OpWrite, Path: path, Err: syscall.ENOSPC}
+		case DiskSlow:
+			time.Sleep(f.Delay)
+		}
+	}
+	return d.inner.WriteFile(path, data)
+}
+
+// Rename implements store.FS.
+func (d *DiskFS) Rename(oldpath, newpath string) error {
+	if f := d.hit(OpRename, newpath); f != nil {
+		switch f.Kind {
+		case DiskENOSPC:
+			return &InjectedDisk{Kind: f.Kind, Op: OpRename, Path: newpath, Err: syscall.ENOSPC}
+		case DiskSlow:
+			time.Sleep(f.Delay)
+		}
+	}
+	return d.inner.Rename(oldpath, newpath)
+}
+
+// Remove implements store.FS (never faulted: removal is the store's
+// cleanup path, and a failed cleanup is already tolerated).
+func (d *DiskFS) Remove(path string) error { return d.inner.Remove(path) }
+
+// SyncDir implements store.FS.
+func (d *DiskFS) SyncDir(path string) error {
+	if f := d.hit(OpSyncDir, path); f != nil {
+		switch f.Kind {
+		case DiskENOSPC:
+			return &InjectedDisk{Kind: f.Kind, Op: OpSyncDir, Path: path, Err: syscall.ENOSPC}
+		case DiskSlow:
+			time.Sleep(f.Delay)
+		}
+	}
+	return d.inner.SyncDir(path)
+}

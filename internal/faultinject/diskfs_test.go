@@ -1,0 +1,248 @@
+package faultinject
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"selthrottle/internal/store"
+)
+
+func entryOf(ipc float64) store.Entry {
+	var e store.Entry
+	e.Stats.Cycles = 1000
+	e.Stats.Committed = 800
+	e.IPC = ipc
+	return e
+}
+
+func keyOf(b byte) store.Key {
+	var k store.Key
+	k[0] = b
+	k[31] = b ^ 0x5a
+	return k
+}
+
+// TestTornWritePutFailsClean: a torn WriteFile fails the Put, publishes
+// nothing, and leaves a store that still opens clean — the interrupted
+// write's temp remnant is swept by the next Open.
+func TestTornWritePutFailsClean(t *testing.T) {
+	dir := t.TempDir()
+	dfs := NewDiskFS(nil, DiskFault{Kind: DiskTornWrite, Op: OpWrite, Match: store.TmpPrefix, TornAt: 7, Once: true})
+	st, err := store.Open(dir, dfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := entryOf(1.5)
+	var injected *InjectedDisk
+	if err := st.Put(keyOf(1), &e); !errors.As(err, &injected) {
+		t.Fatalf("torn put: err = %v, want InjectedDisk", err)
+	}
+	if _, ok, _ := st.Get(keyOf(1)); ok {
+		t.Fatal("torn put published an entry")
+	}
+	if st.Stats().WriteErrors != 1 {
+		t.Fatalf("write errors = %d, want 1", st.Stats().WriteErrors)
+	}
+	// Healthy after the fault: the next Put succeeds and a reopen sees only it.
+	if err := st.Put(keyOf(1), &e); err != nil {
+		t.Fatalf("put after torn write: %v", err)
+	}
+	st2, err := store.Open(dir, nil)
+	if err != nil || st2.Len() != 1 || st2.Stats().QuarantinedAtOpen != 0 {
+		t.Fatalf("reopen after torn write: err=%v len=%d quarantined=%d", err, st2.Len(), st2.Stats().QuarantinedAtOpen)
+	}
+}
+
+// TestSilentTornWriteCaughtByCRC is the crash-consistency shape: the process
+// "dies" after a partial write the store never sees fail (SilentTorn), so a
+// truncated entry gets published. The CRC framing must catch it — at Get
+// time in this process, and at the recovery scan on the next open.
+func TestSilentTornWriteCaughtByCRC(t *testing.T) {
+	for _, tornAt := range []int{0, 1, 16, 100} {
+		dir := t.TempDir()
+		dfs := NewDiskFS(nil, DiskFault{Kind: DiskTornWrite, Op: OpWrite, TornAt: tornAt, SilentTorn: true, Once: true})
+		st, err := store.Open(dir, dfs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := entryOf(2.0)
+		if err := st.Put(keyOf(2), &e); err != nil {
+			t.Fatalf("tornAt %d: silent torn put reported failure: %v", tornAt, err)
+		}
+		if _, ok, err := st.Get(keyOf(2)); ok || err != nil {
+			t.Fatalf("tornAt %d: torn entry served (ok=%v err=%v)", tornAt, ok, err)
+		}
+		if st.Stats().Quarantined != 1 {
+			t.Fatalf("tornAt %d: quarantined = %d, want 1", tornAt, st.Stats().Quarantined)
+		}
+		st2, err := store.Open(dir, nil)
+		if err != nil || st2.Len() != 0 {
+			t.Fatalf("tornAt %d: reopen err=%v len=%d, want clean empty", tornAt, err, st2.Len())
+		}
+	}
+}
+
+// TestENOSPCSurfacesAsENOSPC: a full disk fails the Put with an error
+// errors.Is-identifiable as syscall.ENOSPC, and the store stays usable.
+func TestENOSPCSurfacesAsENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	dfs := NewDiskFS(nil, DiskFault{Kind: DiskENOSPC, Op: OpWrite, Once: true})
+	st, err := store.Open(dir, dfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := entryOf(3.0)
+	if err := st.Put(keyOf(3), &e); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("full-disk put: err = %v, want ENOSPC", err)
+	}
+	if err := st.Put(keyOf(3), &e); err != nil {
+		t.Fatalf("put after space freed: %v", err)
+	}
+	if got, ok, _ := st.Get(keyOf(3)); !ok || got != e {
+		t.Fatal("entry lost after ENOSPC recovery")
+	}
+}
+
+// TestReadErrorSurfacesToCaller: an injected read error on an indexed entry
+// is returned (the cache degrades to compute-through); the entry itself is
+// not quarantined — the bytes may be fine, only this read failed.
+func TestReadErrorSurfacesToCaller(t *testing.T) {
+	dir := t.TempDir()
+	dfs := NewDiskFS(nil, DiskFault{Kind: DiskReadError, Op: OpRead, Match: store.EntrySuffix, Once: true})
+	st, err := store.Open(dir, dfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := entryOf(4.0)
+	if err := st.Put(keyOf(4), &e); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := st.Get(keyOf(4)); ok || err == nil {
+		t.Fatalf("faulted read: ok=%v err=%v, want error", ok, err)
+	}
+	if st.Stats().ReadErrors != 1 {
+		t.Fatalf("read errors = %d, want 1", st.Stats().ReadErrors)
+	}
+	if got, ok, err := st.Get(keyOf(4)); !ok || err != nil || got != e {
+		t.Fatal("entry not served once the read error cleared")
+	}
+}
+
+// TestSyncDirFailureDegrades: a failed directory sync after a landed rename
+// counts as a write error and reports it, but the entry (fully written and
+// fsync'd) still serves in this process.
+func TestSyncDirFailureDegrades(t *testing.T) {
+	dir := t.TempDir()
+	dfs := NewDiskFS(nil, DiskFault{Kind: DiskENOSPC, Op: OpSyncDir, Match: filepath.Base(dir), Once: true})
+	st, err := store.Open(dir, dfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := entryOf(5.0)
+	if err := st.Put(keyOf(5), &e); err == nil {
+		t.Fatal("failed directory sync reported success")
+	}
+	if got, ok, _ := st.Get(keyOf(5)); !ok || got != e {
+		t.Fatal("entry visible after rename must serve despite sync failure")
+	}
+}
+
+// TestAfterOnceAndReset: the After'th matching op fires, Once latches, and
+// Reset re-arms — the determinism contract randomized suites rely on.
+func TestAfterOnceAndReset(t *testing.T) {
+	dir := t.TempDir()
+	dfs := NewDiskFS(nil, DiskFault{Kind: DiskReadError, Op: OpRead, After: 1, Once: true})
+	st, err := store.Open(dir, dfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := entryOf(6.0)
+	if err := st.Put(keyOf(6), &e); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := st.Get(keyOf(6)); !ok || err != nil {
+		t.Fatal("first read should pass (After=1)")
+	}
+	if _, _, err := st.Get(keyOf(6)); err == nil {
+		t.Fatal("second read should fault")
+	}
+	if _, ok, err := st.Get(keyOf(6)); !ok || err != nil {
+		t.Fatal("third read should pass (Once latched)")
+	}
+	dfs.Reset()
+	if _, ok, err := st.Get(keyOf(6)); !ok || err != nil {
+		t.Fatal("after Reset the first matching read should pass again")
+	}
+	if _, _, err := st.Get(keyOf(6)); err == nil {
+		t.Fatal("after Reset the second matching read should fault again")
+	}
+}
+
+// TestSlowIOSucceeds: a slow fault only delays; data still flows.
+func TestSlowIOSucceeds(t *testing.T) {
+	dir := t.TempDir()
+	dfs := NewDiskFS(nil, DiskFault{Kind: DiskSlow, Op: OpWrite, Delay: time.Millisecond})
+	st, err := store.Open(dir, dfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := entryOf(7.0)
+	start := time.Now()
+	if err := st.Put(keyOf(7), &e); err != nil {
+		t.Fatalf("slow put failed: %v", err)
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("slow fault did not delay")
+	}
+	if got, ok, _ := st.Get(keyOf(7)); !ok || got != e {
+		t.Fatal("slow write lost data")
+	}
+}
+
+// TestMatchFilters: a fault scoped by path substring leaves other paths
+// untouched.
+func TestMatchFilters(t *testing.T) {
+	dir := t.TempDir()
+	k1, k2 := keyOf(8), keyOf(9)
+	dfs := NewDiskFS(nil, DiskFault{Kind: DiskReadError, Op: OpRead, Match: k1.String()[:8]})
+	st, err := store.Open(dir, dfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := entryOf(8.0)
+	if err := st.Put(k1, &e); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(k2, &e); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Get(k1); err == nil {
+		t.Fatal("matched path did not fault")
+	}
+	if _, ok, err := st.Get(k2); !ok || err != nil {
+		t.Fatal("unmatched path faulted")
+	}
+}
+
+// TestTornBytesReachDevice pins DiskTornWrite's contract: exactly the first
+// TornAt bytes land.
+func TestTornBytesReachDevice(t *testing.T) {
+	dir := t.TempDir()
+	dfs := NewDiskFS(nil, DiskFault{Kind: DiskTornWrite, Op: OpWrite, TornAt: 3, SilentTorn: true})
+	path := filepath.Join(dir, "f")
+	if err := dfs.WriteFile(path, []byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "hel" {
+		t.Fatalf("device holds %q, want %q", data, "hel")
+	}
+	if !strings.Contains((&InjectedDisk{Kind: DiskTornWrite, Op: OpWrite, Path: path}).Error(), "torn-write") {
+		t.Fatal("InjectedDisk message missing kind")
+	}
+}

@@ -1,0 +1,87 @@
+package sim
+
+// Disk tier plumbing: content addressing of the canonical cache key and the
+// Result <-> store.Entry conversions. The store itself (framing, checksums,
+// atomic writes, quarantine) lives in internal/store; this file is the only
+// place that knows how a simulation point becomes a 256-bit address.
+
+import (
+	"crypto/sha256"
+	"fmt"
+
+	"selthrottle/internal/store"
+)
+
+// diskKeySchema versions the content address itself. It is hashed into
+// every key, so changing the canonicalization rules, the shape of Config or
+// Profile, or the meaning of any field only requires bumping this string:
+// old entries become unreachable (cold cache, recomputed and republished
+// under the new schema), never wrongly served.
+const diskKeySchema = "selthrottle/resultcache/key/v1"
+
+// diskKeyOf content-addresses a canonical cache key. The %#v rendering of
+// the two canonicalized value structs is a deterministic, unambiguous
+// serialization: both are plain comparable Go values (no pointers, no maps;
+// the one interface field, Pipe.Fault, is always nil for cacheable configs
+// — runCachedE bypasses both tiers for faulted runs), every field prints
+// exactly, and the NUL separator keeps the pair unambiguous.
+func diskKeyOf(key cacheKey) store.Key {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%#v\x00%#v", diskKeySchema, key.cfg, key.profile)
+	var k store.Key
+	h.Sum(k[:0])
+	return k
+}
+
+// resultEntry strips a Result to its persisted payload. Config and
+// Benchmark are deliberately dropped: they are the lookup key's identity,
+// rewritten onto the Result on the way out of every tier.
+func resultEntry(r *Result) store.Entry {
+	return store.Entry{
+		Stats:    r.Stats,
+		Power:    r.Power,
+		IPC:      r.IPC,
+		MissRate: r.MissRate,
+		Seconds:  r.Seconds,
+		Energy:   r.Energy,
+		EDelay:   r.EDelay,
+		AvgPower: r.AvgPower,
+	}
+}
+
+// entryResult rebuilds a Result from its persisted payload; the caller
+// stamps Config and Benchmark.
+func entryResult(e *store.Entry) Result {
+	return Result{
+		Stats:    e.Stats,
+		Power:    e.Power,
+		IPC:      e.IPC,
+		MissRate: e.MissRate,
+		Seconds:  e.Seconds,
+		Energy:   e.Energy,
+		EDelay:   e.EDelay,
+		AvgPower: e.AvgPower,
+	}
+}
+
+// UseDiskStore opens (creating if necessary) the persistent result store at
+// dir and attaches it as the process-wide cache's disk tier. The open runs
+// the store's recovery scan, so a directory holding torn or corrupt entries
+// — a previous process killed mid-write — opens cleanly with the damage
+// quarantined. Returns the number of entries available.
+func UseDiskStore(dir string) (entries int, err error) {
+	st, err := store.Open(dir, nil)
+	if err != nil {
+		return 0, err
+	}
+	processCache.SetDisk(st)
+	return st.Len(), nil
+}
+
+// AttachDiskStore attaches an already-open store (possibly on an injected
+// fault FS) as the process-wide cache's disk tier; nil detaches. Returns
+// the previous store. Tests and services that manage their own store
+// lifecycle use this; UseDiskStore is the one-call path.
+func AttachDiskStore(st *store.Store) (previous *store.Store) {
+	return processCache.SetDisk(st)
+}

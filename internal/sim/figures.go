@@ -59,6 +59,13 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// BaseConfig resolves the options against the paper defaults and returns
+// the baseline run configuration they imply — the exported entry the sweep
+// service uses to turn request parameters into a Config.
+func (o Options) BaseConfig() Config {
+	return o.withDefaults().baseConfig()
+}
+
 // baseConfig builds the run configuration implied by the options.
 func (o Options) baseConfig() Config {
 	cfg := Default()
@@ -284,10 +291,26 @@ type Table1Result struct {
 	Results      []Result
 }
 
-// RunTable1 reproduces Table 1 from baseline runs across the profiles.
+// RunTable1 reproduces Table 1 from baseline runs across the profiles. It
+// is the fail-fast wrapper around RunTable1E.
 func RunTable1(opts Options) *Table1Result {
+	t1, err := RunTable1E(context.Background(), opts)
+	if err != nil {
+		panic(err) // fail-fast: legacy contract, typed *RunError for Guard
+	}
+	return t1
+}
+
+// RunTable1E reproduces Table 1 under ctx. The table's averages are
+// meaningless with holes, so unlike the figure grids it is all-or-nothing:
+// the first failed point's error is returned (context errors included) and
+// the table is nil.
+func RunTable1E(ctx context.Context, opts Options) (*Table1Result, error) {
 	opts = opts.withDefaults()
-	results := RunAll(opts.baseConfig(), opts.Profiles)
+	results, statuses := RunAllE(ctx, opts.baseConfig(), opts.Profiles)
+	if err := firstError(statuses); err != nil {
+		return nil, err
+	}
 	out := &Table1Result{Results: results}
 	n := float64(len(results))
 	params := power.DefaultParams()
@@ -304,7 +327,17 @@ func RunTable1(opts Options) *Table1Result {
 			out.Utilization[u] += utilOf(r, u) / n
 		}
 	}
-	return out
+	return out, nil
+}
+
+// firstError returns the first failed status's error, if any.
+func firstError(statuses []PointStatus) error {
+	for _, st := range statuses {
+		if !st.OK() {
+			return st.Err
+		}
+	}
+	return nil
 }
 
 // utilOf back-computes a unit's average utilization from the energy report.
@@ -333,10 +366,23 @@ type Table2Row struct {
 	IPC            float64
 }
 
-// RunTable2 reproduces Table 2 by measuring each profile under the baseline.
+// RunTable2 reproduces Table 2 by measuring each profile under the
+// baseline. It is the fail-fast wrapper around RunTable2E.
 func RunTable2(opts Options) []Table2Row {
+	rows, err := RunTable2E(context.Background(), opts)
+	if err != nil {
+		panic(err) // fail-fast: legacy contract, typed *RunError for Guard
+	}
+	return rows
+}
+
+// RunTable2E reproduces Table 2 under ctx, all-or-nothing like RunTable1E.
+func RunTable2E(ctx context.Context, opts Options) ([]Table2Row, error) {
 	opts = opts.withDefaults()
-	results := RunAll(opts.baseConfig(), opts.Profiles)
+	results, statuses := RunAllE(ctx, opts.baseConfig(), opts.Profiles)
+	if err := firstError(statuses); err != nil {
+		return nil, err
+	}
 	rows := make([]Table2Row, len(results))
 	for i, r := range results {
 		rows[i] = Table2Row{
@@ -346,7 +392,7 @@ func RunTable2(opts Options) []Table2Row {
 			IPC:            r.IPC,
 		}
 	}
-	return rows
+	return rows, nil
 }
 
 // ConfidenceResult reports an estimator's measured operating point.
@@ -358,14 +404,28 @@ type ConfidenceResult struct {
 }
 
 // RunConfidence measures SPEC/PVN for both estimators across the profiles
-// (paper §4.3: BPRU ≈ 60 %/45 %, JRS ≈ 90 %/24 %).
+// (paper §4.3: BPRU ≈ 60 %/45 %, JRS ≈ 90 %/24 %). It is the fail-fast
+// wrapper around RunConfidenceE.
 func RunConfidence(opts Options) []ConfidenceResult {
+	out, err := RunConfidenceE(context.Background(), opts)
+	if err != nil {
+		panic(err) // fail-fast: legacy contract, typed *RunError for Guard
+	}
+	return out
+}
+
+// RunConfidenceE measures SPEC/PVN under ctx, all-or-nothing like
+// RunTable1E.
+func RunConfidenceE(ctx context.Context, opts Options) ([]ConfidenceResult, error) {
 	opts = opts.withDefaults()
 	out := make([]ConfidenceResult, 0, 2)
 	for _, kind := range []EstimatorKind{EstBPRU, EstJRS} {
 		cfg := opts.baseConfig()
 		cfg.Estimator = kind
-		results := RunAll(cfg, opts.Profiles)
+		results, statuses := RunAllE(ctx, cfg, opts.Profiles)
+		if err := firstError(statuses); err != nil {
+			return nil, err
+		}
 		var cr ConfidenceResult
 		cr.Estimator = kind
 		n := float64(len(results))
@@ -376,5 +436,5 @@ func RunConfidence(opts Options) []ConfidenceResult {
 		}
 		out = append(out, cr)
 	}
-	return out
+	return out, nil
 }

@@ -150,7 +150,7 @@ func TestCacheClearAndSummary(t *testing.T) {
 	}
 	var sb strings.Builder
 	WriteCacheSummary(&sb)
-	if !strings.Contains(sb.String(), "1 hits / 1 misses") {
+	if !strings.Contains(sb.String(), "1 mem hits / 0 disk hits / 1 computed") {
 		t.Fatalf("summary missing counters: %q", sb.String())
 	}
 	ClearResultCache()

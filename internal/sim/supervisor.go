@@ -17,11 +17,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"time"
 
 	"selthrottle/internal/pipe"
 	"selthrottle/internal/prog"
+	"selthrottle/internal/xrand"
 )
 
 // Supervisor is the per-point run policy of a figure/sweep grid. The zero
@@ -42,8 +44,20 @@ type Supervisor struct {
 
 	// Backoff is the delay before the first retry, doubling per subsequent
 	// retry (0 selects DefaultBackoff). The wait is context-aware: a
-	// canceled grid does not sit out its backoff.
+	// canceled grid does not sit out its backoff. Each wait is jittered
+	// into [backoff/2, backoff] by a per-point stream seeded from
+	// JitterSeed, so a transient failure that hits many grid points at
+	// once (one flaky dependency, one injected Scatter round) does not
+	// retry in lockstep and re-create the very thundering herd the backoff
+	// exists to avoid.
 	Backoff time.Duration
+
+	// JitterSeed seeds the backoff jitter (0 selects a fixed default
+	// seed). The jitter stream is a pure function of (JitterSeed, point
+	// identity), never of wall-clock or scheduling, so retry timing is
+	// reproducible under a seed — the same discipline as faultinject's
+	// plans.
+	JitterSeed uint64
 
 	// PointFault, when set, supplies a fault-injection hook per grid point
 	// (nil = healthy). Stress suites use it to force chosen points to
@@ -91,6 +105,32 @@ func retryableError(err error) bool {
 	return false
 }
 
+// defaultJitterSeed stands in for a zero Supervisor.JitterSeed: jitter is
+// always on, always deterministic.
+const defaultJitterSeed = 0x5e1ec7_7412077_1e // "select throttle"
+
+// jitterRand derives the per-point jitter stream: a pure function of the
+// supervisor seed and the point's identity (configuration and profile), so
+// two points of one grid desynchronize while every re-run of one point
+// reproduces exactly.
+func jitterRand(seed uint64, cfg Config, profile prog.Profile) *xrand.Rand {
+	if seed == 0 {
+		seed = defaultJitterSeed
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%#v\x00%s\x00%d", cfg, profile.Name, profile.Seed)
+	return xrand.New(xrand.Hash2(seed, h.Sum64()))
+}
+
+// jittered spreads one backoff wait uniformly over [d/2, d].
+func jittered(d time.Duration, rng *xrand.Rand) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := uint64(d / 2)
+	return time.Duration(half + rng.Uint64()%(half+1))
+}
+
 // runPoint executes one grid point under the supervisor's policy: arm the
 // point's fault hook (stress suites), bound each attempt with the per-point
 // deadline, and retry transient failures with exponential backoff. The
@@ -105,6 +145,7 @@ func (s *Supervisor) runPoint(ctx context.Context, r *Runner, cfg Config, profil
 	if backoff <= 0 {
 		backoff = DefaultBackoff
 	}
+	var rng *xrand.Rand // built lazily: only failing points pay for it
 	var status PointStatus
 	for attempt := 0; ; attempt++ {
 		status.Attempts = attempt + 1
@@ -128,7 +169,10 @@ func (s *Supervisor) runPoint(ctx context.Context, r *Runner, cfg Config, profil
 		if ctx.Err() != nil || attempt >= s.Retries || !retryableError(err) {
 			return Result{}, status
 		}
-		t := time.NewTimer(backoff)
+		if rng == nil {
+			rng = jitterRand(s.JitterSeed, cfg, profile)
+		}
+		t := time.NewTimer(jittered(backoff, rng))
 		select {
 		case <-ctx.Done():
 			t.Stop()
@@ -137,6 +181,16 @@ func (s *Supervisor) runPoint(ctx context.Context, r *Runner, cfg Config, profil
 		}
 		backoff *= 2
 	}
+}
+
+// RunPointE executes one supervised point on a pooled Runner under ctx: the
+// single-point entry the sweep service and the trace/calibration commands
+// share with the figure grids. The status isolates any failure; the Result
+// is valid iff status.OK().
+func (s *Supervisor) RunPointE(ctx context.Context, cfg Config, profile prog.Profile) (Result, PointStatus) {
+	r := runnerPool.Get().(*Runner)
+	defer runnerPool.Put(r)
+	return s.runPoint(ctx, r, cfg, profile)
 }
 
 // RunAllE executes a configuration across profiles under ctx with per-point

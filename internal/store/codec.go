@@ -1,0 +1,256 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"selthrottle/internal/conf"
+	"selthrottle/internal/pipe"
+	"selthrottle/internal/power"
+)
+
+// Entry is the persisted payload of one simulation point: everything a
+// sim.Result carries except the caller's Config and benchmark name, which
+// the result cache rewrites on the way out of every tier anyway (they are
+// part of the lookup key, not the computed value).
+type Entry struct {
+	Stats pipe.Stats
+	Power power.Report
+
+	IPC      float64
+	MissRate float64
+	Seconds  float64
+	Energy   float64
+	EDelay   float64
+	AvgPower float64
+}
+
+// On-disk entry framing (all integers little-endian):
+//
+//	offset 0   magic "STRE" (4 bytes)
+//	offset 4   codec version, uint16 (CodecVersion)
+//	offset 6   reserved flags, uint16 (must be 0)
+//	offset 8   payload length, uint32
+//	offset 12  payload (fixed-width field-by-field encoding, see below)
+//	offset 12+len  CRC32-C of bytes [0, 12+len), uint32
+//
+// The payload is a flat sequence of uint64/float64 fields in declaration
+// order (floats as IEEE-754 bit patterns); there are no variable-length
+// fields, so a valid payload has exactly one length and the decoder can
+// reject any other without allocating. Version bumps change CodecVersion;
+// the decoder rejects unknown versions, and the store quarantines entries
+// it cannot decode rather than failing to open.
+const (
+	entryMagic   = "STRE"
+	CodecVersion = 1
+	headerSize   = 12
+	crcSize      = 4
+)
+
+// castagnoli is the CRC32-C table (the checksum used by iSCSI, ext4, and
+// most storage formats; hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Decode errors. ErrCorrupt covers every way stored bytes can fail
+// validation — truncation, bad magic, length mismatch, checksum mismatch;
+// ErrVersion is a structurally sound entry written by a different codec
+// version. Both are quarantine-worthy, never panics.
+var (
+	ErrCorrupt = errors.New("store: corrupt entry")
+	ErrVersion = errors.New("store: unknown codec version")
+)
+
+// enc appends fixed-width values to a buffer.
+type enc struct{ b []byte }
+
+func (e *enc) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) f64(v float64) {
+	e.b = binary.LittleEndian.AppendUint64(e.b, math.Float64bits(v))
+}
+
+// dec consumes fixed-width values from a buffer, latching sticky failure on
+// underflow instead of panicking — the decoder must survive arbitrary bytes.
+type dec struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+func (d *dec) u64() uint64 {
+	if d.bad || d.off+8 > len(d.b) {
+		d.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
+
+// appendPayload encodes the entry's fields. The field order here is the
+// codec: changing it (or the shape of pipe.Stats / power.Report) requires a
+// CodecVersion bump. TestCodecCoversEveryField guards against silently
+// dropping a newly added field.
+func appendPayload(b []byte, e *Entry) []byte {
+	w := enc{b}
+	s := &e.Stats
+	w.u64(s.Cycles)
+	w.u64(s.Committed)
+	w.u64(s.Fetched)
+	w.u64(s.WrongPathFetched)
+	w.u64(s.WrongPathDecoded)
+	w.u64(s.WrongPathDispatched)
+	w.u64(s.WrongPathIssued)
+	w.u64(s.CondBranches)
+	w.u64(s.Mispredicts)
+	w.u64(s.FetchGatedCycles)
+	w.u64(s.DecodeGatedCycles)
+	w.u64(s.NoSelectStalls)
+	w.u64(s.FetchIdleHeld)
+	w.u64(s.FetchIdleBackPressure)
+	w.u64(s.OracleHolds)
+	w.u64(s.TrueFlushes)
+	w.u64(s.ResolveLatTotal)
+	w.u64(s.ResolveWindowWait)
+	w.u64(s.ResolveIssueWait)
+	q := &s.Quality
+	w.u64(q.Mispred)
+	w.u64(q.MispredLow)
+	w.u64(q.LowLabeled)
+	w.u64(q.Total)
+	for i := 0; i < int(conf.NumClasses); i++ {
+		w.u64(q.PerClassTotal[i])
+		w.u64(q.PerClassWrong[i])
+	}
+	p := &e.Power
+	w.u64(p.Cycles)
+	w.f64(p.Seconds)
+	for u := 0; u < int(power.NumUnits); u++ {
+		w.f64(p.UnitEnergy[u])
+	}
+	for u := 0; u < int(power.NumUnits); u++ {
+		w.f64(p.UnitWasted[u])
+	}
+	w.f64(p.TotalEnergy)
+	w.f64(p.WastedEnergy)
+	w.f64(p.AvgPower)
+	w.f64(p.EnergyDelay)
+	w.f64(e.IPC)
+	w.f64(e.MissRate)
+	w.f64(e.Seconds)
+	w.f64(e.Energy)
+	w.f64(e.EDelay)
+	w.f64(e.AvgPower)
+	return w.b
+}
+
+// decodePayload is appendPayload's exact inverse.
+func decodePayload(b []byte) (Entry, error) {
+	var e Entry
+	r := dec{b: b}
+	s := &e.Stats
+	s.Cycles = r.u64()
+	s.Committed = r.u64()
+	s.Fetched = r.u64()
+	s.WrongPathFetched = r.u64()
+	s.WrongPathDecoded = r.u64()
+	s.WrongPathDispatched = r.u64()
+	s.WrongPathIssued = r.u64()
+	s.CondBranches = r.u64()
+	s.Mispredicts = r.u64()
+	s.FetchGatedCycles = r.u64()
+	s.DecodeGatedCycles = r.u64()
+	s.NoSelectStalls = r.u64()
+	s.FetchIdleHeld = r.u64()
+	s.FetchIdleBackPressure = r.u64()
+	s.OracleHolds = r.u64()
+	s.TrueFlushes = r.u64()
+	s.ResolveLatTotal = r.u64()
+	s.ResolveWindowWait = r.u64()
+	s.ResolveIssueWait = r.u64()
+	q := &s.Quality
+	q.Mispred = r.u64()
+	q.MispredLow = r.u64()
+	q.LowLabeled = r.u64()
+	q.Total = r.u64()
+	for i := 0; i < int(conf.NumClasses); i++ {
+		q.PerClassTotal[i] = r.u64()
+		q.PerClassWrong[i] = r.u64()
+	}
+	p := &e.Power
+	p.Cycles = r.u64()
+	p.Seconds = r.f64()
+	for u := 0; u < int(power.NumUnits); u++ {
+		p.UnitEnergy[u] = r.f64()
+	}
+	for u := 0; u < int(power.NumUnits); u++ {
+		p.UnitWasted[u] = r.f64()
+	}
+	p.TotalEnergy = r.f64()
+	p.WastedEnergy = r.f64()
+	p.AvgPower = r.f64()
+	p.EnergyDelay = r.f64()
+	e.IPC = r.f64()
+	e.MissRate = r.f64()
+	e.Seconds = r.f64()
+	e.Energy = r.f64()
+	e.EDelay = r.f64()
+	e.AvgPower = r.f64()
+	if r.bad || r.off != len(b) {
+		return Entry{}, fmt.Errorf("%w: payload length %d, consumed %d", ErrCorrupt, len(b), r.off)
+	}
+	return e, nil
+}
+
+// EncodeEntry serializes e into a complete on-disk entry: header, payload,
+// trailing CRC32-C.
+func EncodeEntry(e *Entry) []byte {
+	payload := appendPayload(nil, e)
+	b := make([]byte, 0, headerSize+len(payload)+crcSize)
+	b = append(b, entryMagic...)
+	b = binary.LittleEndian.AppendUint16(b, CodecVersion)
+	b = binary.LittleEndian.AppendUint16(b, 0)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(payload)))
+	b = append(b, payload...)
+	b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(b, castagnoli))
+	return b
+}
+
+// DecodeEntry validates and decodes a complete on-disk entry. It never
+// panics and never allocates proportionally to attacker-controlled lengths:
+// the declared payload length is checked against the actual data before any
+// use, and the payload itself is fixed-width. Errors wrap ErrCorrupt
+// (truncated, torn, bit-flipped, mislabeled) or ErrVersion (a future or
+// past codec); both mean "quarantine", never "crash".
+func DecodeEntry(data []byte) (Entry, error) {
+	if len(data) < headerSize+crcSize {
+		return Entry{}, fmt.Errorf("%w: %d bytes, want at least %d", ErrCorrupt, len(data), headerSize+crcSize)
+	}
+	if string(data[:4]) != entryMagic {
+		return Entry{}, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[:4])
+	}
+	version := binary.LittleEndian.Uint16(data[4:6])
+	flags := binary.LittleEndian.Uint16(data[6:8])
+	plen := binary.LittleEndian.Uint32(data[8:12])
+	if uint64(len(data)) != headerSize+uint64(plen)+crcSize {
+		return Entry{}, fmt.Errorf("%w: declared payload %d bytes, file holds %d", ErrCorrupt, plen, len(data))
+	}
+	body := data[:len(data)-crcSize]
+	want := binary.LittleEndian.Uint32(data[len(data)-crcSize:])
+	if got := crc32.Checksum(body, castagnoli); got != want {
+		return Entry{}, fmt.Errorf("%w: CRC32C mismatch (stored %08x, computed %08x)", ErrCorrupt, want, got)
+	}
+	// Checksum validated first: a version/flag field that survives the CRC
+	// is a genuine format difference, not corruption.
+	if version != CodecVersion {
+		return Entry{}, fmt.Errorf("%w: %d (this binary speaks %d)", ErrVersion, version, CodecVersion)
+	}
+	if flags != 0 {
+		return Entry{}, fmt.Errorf("%w: unknown flags %04x", ErrVersion, flags)
+	}
+	return decodePayload(body[headerSize:])
+}

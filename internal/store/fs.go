@@ -1,0 +1,95 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// FS is the store's seam to the filesystem. Every byte the store reads or
+// writes goes through exactly one of these methods, so a test FS can inject
+// the disk's real failure modes — torn writes, read errors, a full disk,
+// slow I/O — without touching the store's logic (internal/faultinject's
+// DiskFS is such a wrapper). The production implementation is OSFS.
+//
+// Durability contract: WriteFile must not return success until the data has
+// been flushed to stable storage (fsync), and SyncDir must flush a
+// directory's metadata (the visibility of a completed rename). Rename must
+// be atomic for paths within one directory, the POSIX guarantee the store's
+// temp-file + rename publication protocol is built on.
+type FS interface {
+	// MkdirAll creates path and any missing parents.
+	MkdirAll(path string) error
+	// ReadDir lists the names (not paths) of the entries of path.
+	ReadDir(path string) ([]string, error)
+	// ReadFile returns the full contents of the file at path.
+	ReadFile(path string) ([]byte, error)
+	// WriteFile creates or truncates path, writes data, and fsyncs it.
+	WriteFile(path string, data []byte) error
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes the file at path.
+	Remove(path string) error
+	// SyncDir fsyncs the directory at path (making renames durable).
+	SyncDir(path string) error
+}
+
+// OSFS is the production FS: the real filesystem with fsync on every write
+// and directory sync.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(path string) error { return os.MkdirAll(path, 0o755) }
+
+// ReadDir implements FS.
+func (OSFS) ReadDir(path string) ([]string, error) {
+	ents, err := os.ReadDir(path)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(ents))
+	for i, e := range ents {
+		names[i] = e.Name()
+	}
+	return names, nil
+}
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+// WriteFile implements FS: create/truncate, write, fsync, close — an error
+// from any step (including Close, which can surface deferred write errors)
+// fails the write.
+func (OSFS) WriteFile(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Rename implements FS.
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OSFS) Remove(path string) error { return os.Remove(path) }
+
+// SyncDir implements FS.
+func (OSFS) SyncDir(path string) error {
+	d, err := os.Open(filepath.Clean(path))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

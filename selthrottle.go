@@ -100,6 +100,9 @@ type (
 	PointStatus = sim.PointStatus
 	// PointFailure locates one failed grid point and carries its error.
 	PointFailure = sim.PointFailure
+	// CacheTierStats is a snapshot of the tiered result cache's counters:
+	// memory hits/misses/evictions, disk hits/puts/errors/quarantines.
+	CacheTierStats = sim.CacheTierStats
 )
 
 // NewRunner returns an empty reusable run context; components are built on
@@ -163,3 +166,21 @@ func CacheStats() (hits, misses uint64) { return sim.ResultCacheStats() }
 // ClearResultCache empties the process-wide result cache, bounding memory in
 // long-running processes that explore unbounded configuration spaces.
 func ClearResultCache() { sim.ClearResultCache() }
+
+// SetResultCacheLimit bounds the in-memory tier of the process-wide result
+// cache to n entries (least-recently-used points are evicted past the bound;
+// with a disk store attached they remain one disk read away). n <= 0 restores
+// the default bound. Returns the previous limit.
+func SetResultCacheLimit(n int) (previous int) { return sim.SetResultCacheLimit(n) }
+
+// UseDiskStore attaches a crash-safe persistent result store rooted at dir as
+// the second tier of the process-wide result cache: memory, then disk, then
+// compute. Completed points are published atomically (temp file, fsync,
+// rename); corrupt or torn entries found at open are quarantined, and the
+// count of recovered entries is returned. Disk errors after attachment
+// degrade the affected point to compute-through — they never fail a run.
+func UseDiskStore(dir string) (entries int, err error) { return sim.UseDiskStore(dir) }
+
+// ResultCacheTierStats reports per-tier counters of the process-wide result
+// cache (memory hits/misses/evictions, disk hits/puts/errors/quarantines).
+func ResultCacheTierStats() CacheTierStats { return sim.ResultCacheTierStats() }
