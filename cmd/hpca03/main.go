@@ -65,6 +65,12 @@ func run() int {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	storeDir := flag.String("store", "", "persistent result store directory (crash-safe disk cache tier; empty = memory only)")
 	cacheEntries := flag.Int("cache-entries", sim.DefaultCacheEntries, "in-memory result cache entry cap (0 = unbounded)")
+	quarWarn := flag.Int("quarantine-warn", 0, "warn once when the store holds more than this many quarantined files (0 = off)")
+	workers := flag.Int("workers", 0, "shard the grid across this many stworker processes over -store (0 = in-process)")
+	workerBin := flag.String("worker-bin", "", "stworker binary path (default: next to this binary)")
+	leaseTTL := flag.Duration("lease-ttl", 0, "worker lease expiry horizon (default 3s)")
+	respawns := flag.Int("respawn", 2, "respawn budget per crashed/frozen worker partition")
+	workerFault := flag.String("worker-fault", "", "per-partition fault specs, e.g. '1:kill-after=2;2:freeze-beats' (test use)")
 	flag.Parse()
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -114,6 +120,12 @@ func run() int {
 		} else {
 			fmt.Fprintf(os.Stderr, "hpca03: result store %s: %d entries\n", *storeDir, held)
 		}
+		if st := sim.DiskStore(); st != nil && *quarWarn > 0 {
+			st.SetQuarantineWarn(*quarWarn, func(files int) {
+				fmt.Fprintf(os.Stderr, "hpca03: store quarantine holds %d files (threshold %d); inspect %s\n",
+					files, *quarWarn, *storeDir)
+			})
+		}
 	}
 
 	// SIGINT/SIGTERM cancels the grid cooperatively: in-flight points stop at
@@ -142,6 +154,25 @@ func run() int {
 			ps = append(ps, p)
 		}
 		opts.Profiles = ps
+	}
+
+	// Coordinator mode: shard the grid across worker processes first, then
+	// fall through to the normal dispatch — which now runs over the warm
+	// store, serving worker-published points from disk and computing any a
+	// lost partition left behind. Same code path, same bytes out.
+	if *workers > 0 {
+		if *storeDir == "" {
+			fmt.Fprintln(os.Stderr, "hpca03: -workers requires -store")
+			return 2
+		}
+		bin := *workerBin
+		if bin == "" {
+			bin = defaultWorkerBin()
+		}
+		if err := runWorkers(ctx, *workers, bin, *storeDir, *exp, *id, *bench, opts, *leaseTTL, *respawns, *workerFault); err != nil {
+			fmt.Fprintf(os.Stderr, "hpca03: -workers: %v\n", err)
+			return 2
+		}
 	}
 
 	// Guard converts a fail-fast *pipe.RunError panic (a table or reference

@@ -24,6 +24,7 @@ type DiskOp uint8
 const (
 	OpRead DiskOp = iota + 1
 	OpWrite
+	OpCreate // exclusive creates (lease claims)
 	OpRename
 	OpSyncDir
 )
@@ -35,6 +36,8 @@ func (o DiskOp) String() string {
 		return "read"
 	case OpWrite:
 		return "write"
+	case OpCreate:
+		return "create"
 	case OpRename:
 		return "rename"
 	case OpSyncDir:
@@ -233,6 +236,32 @@ func (d *DiskFS) WriteFile(path string, data []byte) error {
 		}
 	}
 	return d.inner.WriteFile(path, data)
+}
+
+// CreateExclusive implements store.FS. ENOSPC models a full disk at lease
+// claim; a torn create lands the truncated prefix exclusively (the claim
+// "wins" but its content is damaged — exactly the shape a lease reader must
+// treat as invalid rather than crash on).
+func (d *DiskFS) CreateExclusive(path string, data []byte) error {
+	if f := d.hit(OpCreate, path); f != nil {
+		switch f.Kind {
+		case DiskENOSPC:
+			return &InjectedDisk{Kind: f.Kind, Op: OpCreate, Path: path, Err: syscall.ENOSPC}
+		case DiskTornWrite:
+			cut := f.TornAt
+			if cut > len(data) {
+				cut = len(data)
+			}
+			werr := d.inner.CreateExclusive(path, data[:cut])
+			if f.SilentTorn {
+				return werr
+			}
+			return &InjectedDisk{Kind: f.Kind, Op: OpCreate, Path: path}
+		case DiskSlow:
+			time.Sleep(f.Delay)
+		}
+	}
+	return d.inner.CreateExclusive(path, data)
 }
 
 // Rename implements store.FS.

@@ -1,0 +1,105 @@
+package faultinject
+
+// Process-level faults: deterministic ways for a worker PROCESS to die or
+// degrade, complementing the point-level Plan (panics, deadlocks) and the
+// disk-level DiskFS (torn writes, ENOSPC). These are what the multi-worker
+// crash tests are made of — a worker that SIGKILLs itself after k computed
+// points is an abrupt crash indistinguishable from an OOM kill, and a worker
+// whose heartbeats freeze while it keeps computing is the classic
+// half-dead process a lease TTL exists to catch.
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"syscall"
+)
+
+// ProcFaults is a deterministic process-level fault specification, parsed
+// from the comma-separated form workers accept on the command line.
+type ProcFaults struct {
+	// KillAfterPoints, when > 0, SIGKILLs the process after that many grid
+	// points have been computed — an abrupt crash with no cleanup, no lease
+	// release, no deferred handlers.
+	KillAfterPoints int
+	// FreezeBeats stops heartbeat renewal while the worker keeps computing:
+	// the half-dead state an observer must classify as expired.
+	FreezeBeats bool
+	// FreezeAfterPoints, when > 0, wedges the process completely after that
+	// many points — heartbeats frozen from the start AND computation
+	// blocked forever — the classic hung worker only a lease TTL plus an
+	// external kill can clear. Implies FreezeBeats.
+	FreezeAfterPoints int
+	// LeaseENOSPC injects ENOSPC into lease-file creation (OpCreate under
+	// the leases directory), forcing the leaseless degradation path.
+	LeaseENOSPC bool
+}
+
+// Zero reports whether no process fault is armed.
+func (p ProcFaults) Zero() bool {
+	return p.KillAfterPoints == 0 && !p.FreezeBeats && p.FreezeAfterPoints == 0 && !p.LeaseENOSPC
+}
+
+// String renders the spec in the form ParseProcFaults accepts.
+func (p ProcFaults) String() string {
+	var parts []string
+	if p.KillAfterPoints > 0 {
+		parts = append(parts, fmt.Sprintf("kill-after=%d", p.KillAfterPoints))
+	}
+	if p.FreezeBeats {
+		parts = append(parts, "freeze-beats")
+	}
+	if p.FreezeAfterPoints > 0 {
+		parts = append(parts, fmt.Sprintf("freeze-after=%d", p.FreezeAfterPoints))
+	}
+	if p.LeaseENOSPC {
+		parts = append(parts, "lease-enospc")
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseProcFaults decodes a spec like "kill-after=3,freeze-beats" or
+// "lease-enospc". The empty string is the zero (no-fault) spec.
+func ParseProcFaults(spec string) (ProcFaults, error) {
+	var p ProcFaults
+	if spec == "" {
+		return p, nil
+	}
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		switch {
+		case tok == "freeze-beats":
+			p.FreezeBeats = true
+		case tok == "lease-enospc":
+			p.LeaseENOSPC = true
+		case strings.HasPrefix(tok, "kill-after="):
+			n, err := strconv.Atoi(strings.TrimPrefix(tok, "kill-after="))
+			if err != nil || n <= 0 {
+				return p, fmt.Errorf("faultinject: bad kill-after count in %q", tok)
+			}
+			p.KillAfterPoints = n
+		case strings.HasPrefix(tok, "freeze-after="):
+			n, err := strconv.Atoi(strings.TrimPrefix(tok, "freeze-after="))
+			if err != nil || n <= 0 {
+				return p, fmt.Errorf("faultinject: bad freeze-after count in %q", tok)
+			}
+			p.FreezeAfterPoints = n
+			p.FreezeBeats = true
+		default:
+			return p, fmt.Errorf("faultinject: unknown process fault %q", tok)
+		}
+	}
+	return p, nil
+}
+
+// KillSelf terminates the process with SIGKILL: no deferred functions, no
+// exit handlers, no flushing — the most faithful stand-in for a crash the
+// process can arrange for itself. It does not return; the os.Exit fallback
+// exists only for platforms where the signal cannot be delivered.
+func KillSelf() {
+	// invariant: SIGKILL cannot be caught or ignored, so delivery ends the
+	// process before this function returns.
+	_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	os.Exit(137)
+}

@@ -1,0 +1,243 @@
+package grid
+
+// The coordinator: spawn one worker process per partition, watch each
+// through two independent channels — the process itself (wait status) and
+// its lease file (heartbeat liveness) — and recover from both failure
+// shapes. A dead process (crash, SIGKILL, OOM) is detected by wait and its
+// lease removed outright, since process death is strictly stronger evidence
+// than lease expiry. A frozen process (alive but not beating) is detected by
+// lease expiry and killed before its lease is reclaimed, so the partition
+// never has two live computers. Respawns are bounded and jitter-backed like
+// the supervisor's point retries; a partition that exhausts them is reported
+// lost, and the caller (hpca03) computes it in-process — the coordinator
+// itself is the survivor of last resort.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os/exec"
+	"time"
+
+	"selthrottle/internal/xrand"
+)
+
+// PartitionState classifies a partition's final outcome.
+type PartitionState uint8
+
+// Partition outcomes.
+const (
+	// PartDone: the worker completed its points (exit 0).
+	PartDone PartitionState = iota + 1
+	// PartFailed: the worker completed but some points terminally failed
+	// (exit 1). Deterministic — never respawned.
+	PartFailed
+	// PartLost: the partition's workers kept dying; respawn budget
+	// exhausted. The caller must compute these points itself.
+	PartLost
+)
+
+// String names the state.
+func (s PartitionState) String() string {
+	switch s {
+	case PartDone:
+		return "done"
+	case PartFailed:
+		return "failed"
+	case PartLost:
+		return "lost"
+	}
+	return "unknown"
+}
+
+// PartitionOutcome reports one partition's supervision history.
+type PartitionOutcome struct {
+	Part     int
+	State    PartitionState
+	Respawns int   // worker processes restarted after crash/freeze
+	Err      error // last crash/freeze diagnosis (informational)
+}
+
+// Worker exit codes (the stworker contract the coordinator interprets).
+const (
+	// ExitOK: partition complete, every point published.
+	ExitOK = 0
+	// ExitPointFailures: partition complete, some points terminally failed
+	// (deterministic; respawning cannot help).
+	ExitPointFailures = 1
+	// ExitUsage: bad flags.
+	ExitUsage = 2
+	// ExitInterrupted: canceled by signal before finishing.
+	ExitInterrupted = 3
+	// ExitLeaseHeld: a live holder owns the partition lease.
+	ExitLeaseHeld = 4
+)
+
+// CoordinatorOptions configures Coordinate.
+type CoordinatorOptions struct {
+	// Parts is the partition count (workers 0..Parts-1).
+	Parts int
+	// GridID identifies the grid (lease naming).
+	GridID string
+	// Leases manages the shared lease directory. Required.
+	Leases *Manager
+	// Spawn builds the (unstarted) worker command for a partition attempt
+	// (attempt 0 is the first launch; respawns count up). Callers injecting
+	// faults arm them on attempt 0 only, so a respawn models recovery from
+	// a one-shot crash rather than a deterministic crash loop.
+	Spawn func(part, attempt int) *exec.Cmd
+	// Respawns bounds restarts per partition (crash/freeze only; exit 1 is
+	// terminal). Default 2.
+	Respawns int
+	// JitterSeed seeds respawn backoff jitter (0 selects a fixed default).
+	JitterSeed uint64
+	// Logf, when non-nil, receives supervision events.
+	Logf func(format string, args ...any)
+}
+
+func (o *CoordinatorOptions) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// Coordinate runs and supervises Parts workers to completion, reclaiming
+// and respawning crashed or frozen ones. It returns one outcome per
+// partition; it does not itself error on lost partitions — degradation
+// policy belongs to the caller.
+func Coordinate(ctx context.Context, opts CoordinatorOptions) []PartitionOutcome {
+	if opts.Respawns == 0 {
+		opts.Respawns = 2
+	}
+	outcomes := make([]PartitionOutcome, opts.Parts)
+	done := make(chan int)
+	for part := 0; part < opts.Parts; part++ {
+		go func(part int) {
+			defer func() { done <- part }()
+			outcomes[part] = opts.supervisePartition(ctx, part)
+		}(part)
+	}
+	for range outcomes {
+		<-done
+	}
+	return outcomes
+}
+
+// supervisePartition drives one partition through spawn/monitor/reclaim
+// cycles until it completes or exhausts its respawn budget.
+func (opts *CoordinatorOptions) supervisePartition(ctx context.Context, part int) PartitionOutcome {
+	out := PartitionOutcome{Part: part}
+	lease := LeaseName(opts.GridID, part, opts.Parts)
+	rng := xrand.New(xrand.Hash2(opts.JitterSeed|1, uint64(part)))
+	backoff := 50 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		if ctx.Err() != nil {
+			out.State, out.Err = PartLost, ctx.Err()
+			return out
+		}
+		code, err := opts.runWorkerOnce(ctx, part, attempt, lease)
+		switch {
+		case err == nil && code == ExitOK:
+			out.State = PartDone
+			return out
+		case err == nil && code == ExitPointFailures:
+			// Deterministic point failures: the worker finished its
+			// partition and the failures are recorded in the store of
+			// statuses the merge will degrade on. Respawning reruns the
+			// same deterministic failure — don't.
+			out.State = PartFailed
+			return out
+		default:
+			if err == nil {
+				err = fmt.Errorf("grid: worker p%d exited %d", part, code)
+			}
+			out.Err = err
+			opts.logf("coordinator: p%d attempt %d: %v", part, attempt+1, err)
+		}
+		if attempt >= opts.Respawns {
+			out.State = PartLost
+			return out
+		}
+		out.Respawns++
+		// Jittered backoff in [b/2, b], the supervisor's retry discipline.
+		d := backoff/2 + time.Duration(rng.Uint64()%uint64(backoff/2+1))
+		t := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			out.State, out.Err = PartLost, ctx.Err()
+			return out
+		case <-t.C:
+		}
+		backoff *= 2
+	}
+}
+
+// errWorkerFrozen diagnoses a worker whose lease expired while its process
+// stayed alive.
+var errWorkerFrozen = errors.New("grid: worker frozen (lease expired while process alive)")
+
+// runWorkerOnce spawns one worker for the partition and monitors it to
+// termination: process exit on one side, lease liveness on the other. A
+// frozen worker is SIGKILLed. On abnormal death the partition lease is
+// removed — safe exactly because the process has been waited on (death is
+// proven, not inferred), so no live holder can remain.
+func (opts *CoordinatorOptions) runWorkerOnce(ctx context.Context, part, attempt int, lease string) (exitCode int, err error) {
+	cmd := opts.Spawn(part, attempt)
+	if err := cmd.Start(); err != nil {
+		return -1, fmt.Errorf("grid: spawn p%d: %w", part, err)
+	}
+	waitc := make(chan error, 1)
+	go func() { waitc <- cmd.Wait() }()
+
+	obs := opts.Leases.Observe(lease)
+	poll := opts.Leases.BeatInterval()
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	var frozen bool
+	var werr error
+loop:
+	for {
+		select {
+		case werr = <-waitc:
+			break loop
+		case <-ctx.Done():
+			cmd.Process.Kill()
+			<-waitc
+			return -1, ctx.Err()
+		case <-t.C:
+			if st, oerr := obs.Check(); oerr == nil && st == StateExpired {
+				// The process is alive (wait hasn't returned) but its lease
+				// stopped moving: frozen. Kill it, then reclaim below with
+				// death proven by wait.
+				frozen = true
+				opts.logf("coordinator: p%d lease expired with process alive; killing", part)
+				cmd.Process.Kill()
+				werr = <-waitc
+				break loop
+			}
+		}
+	}
+
+	if werr == nil {
+		return ExitOK, nil
+	}
+	var xerr *exec.ExitError
+	if errors.As(werr, &xerr) {
+		code := xerr.ExitCode()
+		if code == ExitPointFailures {
+			return code, nil
+		}
+		// Crash (signal death reports -1), freeze, usage error, or a lease
+		// dispute: the process is dead — waited on — so removing its lease
+		// cannot orphan a live holder.
+		if rerr := opts.Leases.Remove(lease); rerr != nil {
+			opts.logf("coordinator: p%d lease reclaim: %v", part, rerr)
+		}
+		if frozen {
+			return code, fmt.Errorf("%w: p%d", errWorkerFrozen, part)
+		}
+		return code, fmt.Errorf("grid: worker p%d died: %w", part, werr)
+	}
+	return -1, fmt.Errorf("grid: worker p%d wait: %w", part, werr)
+}

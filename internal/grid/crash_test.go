@@ -1,0 +1,225 @@
+package grid
+
+// Real-subprocess crash-recovery tests: build the actual hpca03 and
+// stworker binaries, shard a figure across 3 workers over a shared store,
+// kill one mid-grid (self-SIGKILL via the injected process fault), and
+// require the coordinator to recover AND the final report to be
+// byte-identical to a clean single-process run. This is the tentpole
+// invariant of the multi-worker subsystem proven end-to-end, not simulated:
+// real processes, real signals, real leases on a real filesystem.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	buildDir  string
+	buildErr  error
+)
+
+// binaries builds hpca03 and stworker once per test process.
+func binaries(t *testing.T) (hpca03, stworker string) {
+	t.Helper()
+	buildOnce.Do(func() {
+		buildDir, buildErr = os.MkdirTemp("", "grid-crash-bin")
+		if buildErr != nil {
+			return
+		}
+		for _, pkg := range []string{"hpca03", "stworker"} {
+			out, err := exec.Command("go", "build", "-o",
+				filepath.Join(buildDir, pkg), "selthrottle/cmd/"+pkg).CombinedOutput()
+			if err != nil {
+				buildErr = fmt.Errorf("go build %s: %v\n%s", pkg, err, out)
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building binaries: %v", buildErr)
+	}
+	return filepath.Join(buildDir, "hpca03"), filepath.Join(buildDir, "stworker")
+}
+
+// fastArgs is the shared fast grid selection: fig3 (64 points) at a small
+// instruction budget.
+func fastArgs(storeDir string) []string {
+	return []string{"-exp", "fig3", "-n", "8000", "-warmup", "2000", "-store", storeDir}
+}
+
+// runBin runs a binary capturing stdout and stderr separately.
+func runBin(t *testing.T, bin string, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	err := cmd.Run()
+	code = 0
+	if err != nil {
+		xerr, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("run %s: %v", bin, err)
+		}
+		code = xerr.ExitCode()
+	}
+	return out.String(), errb.String(), code
+}
+
+// TestWorkerCrashRecoveryByteIdentical is the headline invariant: 3 workers
+// shard the grid, worker 1 SIGKILLs itself after 2 points, the coordinator
+// detects the death, reclaims the lease, respawns, and the final merged
+// report is byte-identical to a clean single-process run.
+func TestWorkerCrashRecoveryByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess crash test")
+	}
+	hpca03, stworker := binaries(t)
+
+	refOut, _, code := runBin(t, hpca03, fastArgs(t.TempDir())...)
+	if code != 0 {
+		t.Fatalf("single-process reference run exited %d", code)
+	}
+	if !strings.Contains(refOut, "Figure 3") {
+		t.Fatalf("reference run produced no figure:\n%s", refOut)
+	}
+
+	args := append(fastArgs(t.TempDir()),
+		"-workers", "3",
+		"-worker-bin", stworker,
+		"-worker-fault", "1:kill-after=2",
+		"-lease-ttl", "500ms",
+	)
+	gotOut, gotErr, code := runBin(t, hpca03, args...)
+	if code != 0 {
+		t.Fatalf("multi-worker crash run exited %d\nstderr:\n%s", code, gotErr)
+	}
+	if !strings.Contains(gotErr, "signal: killed") {
+		t.Fatalf("worker 1 was never killed; stderr:\n%s", gotErr)
+	}
+	if gotOut != refOut {
+		t.Fatalf("multi-worker output diverges from single-process run\n--- single-process ---\n%s\n--- multi-worker ---\n%s", refOut, gotOut)
+	}
+}
+
+// TestWorkerFrozenHeartbeatRecovery: a worker whose heartbeats freeze while
+// it keeps computing must be detected by lease expiry, killed by the
+// coordinator, and replaced — with the final report still byte-identical.
+func TestWorkerFrozenHeartbeatRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess crash test")
+	}
+	hpca03, stworker := binaries(t)
+
+	refOut, _, code := runBin(t, hpca03, fastArgs(t.TempDir())...)
+	if code != 0 {
+		t.Fatalf("single-process reference run exited %d", code)
+	}
+
+	args := append(fastArgs(t.TempDir()),
+		"-workers", "3",
+		"-worker-bin", stworker,
+		"-worker-fault", "2:freeze-after=2",
+		"-lease-ttl", "500ms",
+	)
+	gotOut, gotErr, code := runBin(t, hpca03, args...)
+	if code != 0 {
+		t.Fatalf("frozen-worker run exited %d\nstderr:\n%s", code, gotErr)
+	}
+	if !strings.Contains(gotErr, "lease expired with process alive") {
+		t.Fatalf("frozen worker never detected; stderr:\n%s", gotErr)
+	}
+	if gotOut != refOut {
+		t.Fatalf("frozen-worker output diverges from single-process run\n--- single-process ---\n%s\n--- multi-worker ---\n%s", refOut, gotOut)
+	}
+}
+
+// TestMultiWorkerCleanRun: no faults — 3 workers complete their partitions
+// and the merged output matches the single-process run (the boring path
+// must work too, and the workers must actually be used: the coordinator
+// logs the sharding).
+func TestMultiWorkerCleanRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	hpca03, stworker := binaries(t)
+
+	refOut, _, code := runBin(t, hpca03, fastArgs(t.TempDir())...)
+	if code != 0 {
+		t.Fatalf("single-process reference run exited %d", code)
+	}
+	args := append(fastArgs(t.TempDir()),
+		"-workers", "3", "-worker-bin", stworker, "-lease-ttl", "500ms")
+	gotOut, gotErr, code := runBin(t, hpca03, args...)
+	if code != 0 {
+		t.Fatalf("clean multi-worker run exited %d\nstderr:\n%s", code, gotErr)
+	}
+	if !strings.Contains(gotErr, "sharding") {
+		t.Fatalf("coordinator never sharded; stderr:\n%s", gotErr)
+	}
+	if gotOut != refOut {
+		t.Fatalf("clean multi-worker output diverges from single-process run")
+	}
+}
+
+// TestWorkerResumesFromWarmStore: a worker re-run over the SAME store after
+// an interrupted sweep skips published points (disk hits) — resumability is
+// what makes crash recovery cheap. Proven via the stworker exit path: a
+// full clean worker run over a cold store, then the same run again; both
+// exit 0, and the store is unchanged after the second (nothing recomputed
+// differently).
+func TestWorkerResumesFromWarmStore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	_, stworker := binaries(t)
+	storeDir := t.TempDir()
+	args := []string{"-store", storeDir, "-part", "0", "-of", "3",
+		"-exp", "fig3", "-n", "8000", "-warmup", "2000"}
+	if _, stderr, code := runBin(t, stworker, args...); code != 0 {
+		t.Fatalf("cold worker run exited %d\nstderr:\n%s", code, stderr)
+	}
+	before := storeSnapshot(t, storeDir)
+	if _, stderr, code := runBin(t, stworker, args...); code != 0 {
+		t.Fatalf("warm worker run exited %d\nstderr:\n%s", code, stderr)
+	}
+	after := storeSnapshot(t, storeDir)
+	if len(before) == 0 {
+		t.Fatal("cold run published nothing")
+	}
+	if len(before) != len(after) {
+		t.Fatalf("warm re-run changed the store: %d entries before, %d after", len(before), len(after))
+	}
+	for name, sum := range before {
+		if after[name] != sum {
+			t.Fatalf("warm re-run rewrote %s", name)
+		}
+	}
+}
+
+// storeSnapshot maps every .res entry to its content for identity checks.
+func storeSnapshot(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	snap := make(map[string]string)
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".res") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		snap[filepath.Base(path)] = string(data)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walk store: %v", err)
+	}
+	return snap
+}

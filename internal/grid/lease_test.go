@@ -1,0 +1,294 @@
+package grid
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"selthrottle/internal/faultinject"
+	"selthrottle/internal/store"
+)
+
+// fakeClock is an injectable monotonic source tests warp at will.
+type fakeClock struct{ now atomic.Int64 }
+
+func (c *fakeClock) Clock() Clock            { return func() time.Duration { return time.Duration(c.now.Load()) } }
+func (c *fakeClock) Advance(d time.Duration) { c.now.Add(int64(d)) }
+
+// newTestManager builds a manager over a temp store dir with an injected
+// clock, so expiry is driven by explicit warps, never by sleeping.
+func newTestManager(t *testing.T, fsys store.FS, ttl time.Duration) (*Manager, *fakeClock) {
+	t.Helper()
+	m, err := NewManager(t.TempDir(), fsys, ttl)
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	clk := &fakeClock{}
+	m.SetClock(clk.Clock())
+	return m, clk
+}
+
+func TestLeaseAcquireHeldRelease(t *testing.T) {
+	m, _ := newTestManager(t, nil, time.Second)
+	l, err := m.Acquire("g-p0-of1", "w0")
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	if _, err := m.Acquire("g-p0-of1", "w1"); !errors.Is(err, ErrHeld) {
+		t.Fatalf("second Acquire = %v, want ErrHeld", err)
+	}
+	l.Release()
+	if _, err := m.Acquire("g-p0-of1", "w1"); err != nil {
+		t.Fatalf("Acquire after Release: %v", err)
+	}
+}
+
+// TestLeaseExpiryIsMonotonicLocal is the clock-hazard test: expiry must be
+// decided purely by "bytes unchanged for TTL on the observer's own
+// monotonic clock". The lease file carries no timestamps, so warping the
+// observer's clock is the ONLY way to expire a lease without waiting —
+// proving no cross-process wall-clock comparison exists to get wrong.
+func TestLeaseExpiryIsMonotonicLocal(t *testing.T) {
+	const ttl = 10 * time.Second // far beyond test runtime: only warps can expire it
+	m, clk := newTestManager(t, nil, ttl)
+	l, err := m.Acquire("g-p0-of2", "w0")
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	obs := m.Observe("g-p0-of2")
+	if st, err := obs.Check(); err != nil || st != StateLive {
+		t.Fatalf("first Check = %v, %v; want live", st, err)
+	}
+	// Just under TTL with no beats: still live.
+	clk.Advance(ttl - time.Millisecond)
+	if st, _ := obs.Check(); st != StateLive {
+		t.Fatalf("Check before TTL = %v, want live", st)
+	}
+	// A beat resets the horizon even with the clock warped to the brink.
+	if err := l.Beat(); err != nil {
+		t.Fatalf("Beat: %v", err)
+	}
+	if st, _ := obs.Check(); st != StateLive {
+		t.Fatalf("Check after beat = %v, want live", st)
+	}
+	clk.Advance(ttl - time.Millisecond)
+	if st, _ := obs.Check(); st != StateLive {
+		t.Fatalf("Check %v after beat = %v, want live", ttl-time.Millisecond, st)
+	}
+	// TTL with no change: expired.
+	clk.Advance(2 * time.Millisecond)
+	if st, _ := obs.Check(); st != StateExpired {
+		t.Fatalf("Check past TTL = %v, want expired", st)
+	}
+}
+
+// TestLeaseStealFencing: after a steal, the old holder's next Beat returns
+// ErrLost — the at-most-one-live-holder guarantee.
+func TestLeaseStealFencing(t *testing.T) {
+	m, clk := newTestManager(t, nil, time.Second)
+	old, err := m.Acquire("g-p1-of3", "w-old")
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	obs := m.Observe("g-p1-of3")
+	obs.Check()
+	clk.Advance(2 * time.Second)
+	if st, _ := obs.Check(); st != StateExpired {
+		t.Fatalf("lease not expired after warp")
+	}
+	thief, err := m.Steal("g-p1-of3", "w-new")
+	if err != nil {
+		t.Fatalf("Steal: %v", err)
+	}
+	if err := old.Beat(); !errors.Is(err, ErrLost) {
+		t.Fatalf("old holder Beat = %v, want ErrLost", err)
+	}
+	if !old.Lost() {
+		t.Fatal("old holder not marked lost")
+	}
+	if err := thief.Beat(); err != nil {
+		t.Fatalf("thief Beat: %v", err)
+	}
+	// Once lost, the old holder's Release must not destroy the thief's lease.
+	old.Release()
+	if err := thief.Beat(); err != nil {
+		t.Fatalf("thief Beat after old Release: %v", err)
+	}
+}
+
+// TestLeaseStealRace is the no-two-live-holders stress check: racing
+// stealers over one expired lease may transiently all believe they won (the
+// read-back filter is not an arbiter), but the fencing protocol must
+// converge every such race to exactly one survivor within one beat round —
+// every other holder's Beat returns ErrLost. Run under -race this also
+// exercises the protocol's concurrency.
+func TestLeaseStealRace(t *testing.T) {
+	m, clk := newTestManager(t, nil, time.Second)
+	if _, err := m.Acquire("g-p0-of4", "w-dead"); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	clk.Advance(5 * time.Second)
+	const thieves = 8
+	var wg sync.WaitGroup
+	leases := make([]*Lease, thieves)
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			l, err := m.Steal("g-p0-of4", "thief")
+			if err == nil {
+				leases[i] = l
+			} else if !errors.Is(err, ErrHeld) {
+				t.Errorf("Steal: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	won := 0
+	for _, l := range leases {
+		if l != nil {
+			won++
+		}
+	}
+	if won < 1 {
+		t.Fatal("no stealer won")
+	}
+	// Convergence: beat every provisional winner twice (a survivor's first
+	// beat can itself be overtaken by a later provisional winner's first
+	// beat; a second round settles on the last writer). Exactly one lease
+	// must remain live.
+	for round := 0; round < 2; round++ {
+		for _, l := range leases {
+			if l != nil && !l.Lost() {
+				if err := l.Beat(); err != nil && !errors.Is(err, ErrLost) {
+					t.Fatalf("Beat: %v", err)
+				}
+			}
+		}
+	}
+	live := 0
+	for _, l := range leases {
+		if l != nil && !l.Lost() {
+			live++
+		}
+	}
+	if live != 1 {
+		t.Fatalf("%d live holders after convergence, want exactly 1 (of %d provisional winners)", live, won)
+	}
+}
+
+// TestTakeover: a takeover waits out a dead holder and steals, but backs
+// off with ErrHeld the moment the lease proves live.
+func TestTakeover(t *testing.T) {
+	t.Run("dead holder", func(t *testing.T) {
+		m, clk := newTestManager(t, nil, 50*time.Millisecond)
+		if _, err := m.Acquire("g-p2-of3", "w-dead"); err != nil {
+			t.Fatalf("Acquire: %v", err)
+		}
+		// Warp in the background so Takeover's polling observer sees expiry.
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			for {
+				select {
+				case <-stop:
+					return
+				case <-time.After(time.Millisecond):
+					clk.Advance(20 * time.Millisecond)
+				}
+			}
+		}()
+		l, err := m.Takeover(context.Background(), "g-p2-of3", "w-new")
+		if err != nil {
+			t.Fatalf("Takeover over dead holder: %v", err)
+		}
+		if err := l.Beat(); err != nil {
+			t.Fatalf("Beat after takeover: %v", err)
+		}
+	})
+	t.Run("live holder", func(t *testing.T) {
+		m, _ := newTestManager(t, nil, 50*time.Millisecond)
+		holder, err := m.Acquire("g-p0-of3", "w-live")
+		if err != nil {
+			t.Fatalf("Acquire: %v", err)
+		}
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() { // a live holder beating on schedule
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-time.After(m.BeatInterval()):
+					holder.Beat()
+				}
+			}
+		}()
+		_, err = m.Takeover(context.Background(), "g-p0-of3", "w-intruder")
+		close(stop)
+		wg.Wait()
+		if !errors.Is(err, ErrHeld) {
+			t.Fatalf("Takeover against live holder = %v, want ErrHeld", err)
+		}
+	})
+	t.Run("canceled", func(t *testing.T) {
+		m, _ := newTestManager(t, nil, 10*time.Second)
+		if _, err := m.Acquire("g-p1-of2", "w0"); err != nil {
+			t.Fatalf("Acquire: %v", err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+		defer cancel()
+		if _, err := m.Takeover(ctx, "g-p1-of2", "w1"); err == nil {
+			t.Fatal("Takeover returned nil on canceled context")
+		}
+	})
+}
+
+// TestLeaseENOSPC: injected ENOSPC on lease creation surfaces as a plain
+// I/O error (not ErrHeld) — the signal the worker uses to degrade to
+// leaseless operation instead of dying.
+func TestLeaseENOSPC(t *testing.T) {
+	fsys := faultinject.NewDiskFS(store.OSFS{}, faultinject.DiskFault{
+		Kind:  faultinject.DiskENOSPC,
+		Op:    faultinject.OpCreate,
+		Match: LeaseDirName,
+	})
+	m, _ := newTestManager(t, fsys, time.Second)
+	_, err := m.Acquire("g-p0-of1", "w0")
+	if err == nil {
+		t.Fatal("Acquire succeeded under ENOSPC")
+	}
+	if errors.Is(err, ErrHeld) {
+		t.Fatalf("ENOSPC misreported as ErrHeld: %v", err)
+	}
+}
+
+// TestLeaseUnparsableExpires: a torn or foreign lease file is bytes that
+// never change — it expires after TTL like any dead lease, and Steal
+// replaces it.
+func TestLeaseUnparsableExpires(t *testing.T) {
+	m, clk := newTestManager(t, nil, time.Second)
+	if err := (store.OSFS{}).WriteFile(m.path("g-p0-of2"), []byte("junk\x00bytes")); err != nil {
+		t.Fatalf("write junk: %v", err)
+	}
+	obs := m.Observe("g-p0-of2")
+	if st, err := obs.Check(); err != nil || st != StateLive {
+		t.Fatalf("first Check = %v, %v", st, err)
+	}
+	clk.Advance(2 * time.Second)
+	if st, _ := obs.Check(); st != StateExpired {
+		t.Fatalf("junk lease state = %v, want expired", st)
+	}
+	l, err := m.Steal("g-p0-of2", "w-new")
+	if err != nil {
+		t.Fatalf("Steal over junk: %v", err)
+	}
+	if err := l.Beat(); err != nil {
+		t.Fatalf("Beat after steal-over-junk: %v", err)
+	}
+}

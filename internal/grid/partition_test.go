@@ -1,0 +1,96 @@
+package grid
+
+import (
+	"testing"
+
+	"selthrottle/internal/sim"
+	"selthrottle/internal/store"
+)
+
+// testGrid enumerates a small real grid (fig3 under a fast option set).
+func testGrid(t *testing.T) []sim.GridPoint {
+	t.Helper()
+	pts, err := sim.EnumerateGrid("fig3", "", sim.Options{Instructions: 8000, Warmup: 2000})
+	if err != nil {
+		t.Fatalf("EnumerateGrid: %v", err)
+	}
+	if len(pts) < 16 {
+		t.Fatalf("grid too small to test partitioning: %d points", len(pts))
+	}
+	return pts
+}
+
+// TestPartitionCoversExactlyOnce is the sharding invariant: for any worker
+// count, every point is owned by exactly one partition, and partitioning
+// preserves the grid.
+func TestPartitionCoversExactlyOnce(t *testing.T) {
+	pts := testGrid(t)
+	for _, of := range []int{1, 2, 3, 5, 8} {
+		owned := make(map[store.Key]int)
+		total := 0
+		for part := 0; part < of; part++ {
+			for _, g := range PartitionPoints(pts, part, of) {
+				owned[g.Key()]++
+				total++
+			}
+		}
+		if total != len(pts) {
+			t.Errorf("of=%d: partitions hold %d points, grid has %d", of, total, len(pts))
+		}
+		for k, n := range owned {
+			if n != 1 {
+				t.Errorf("of=%d: key %s owned %d times", of, k, n)
+			}
+		}
+	}
+}
+
+// TestPartitionBalance checks the hash spreads a real grid: with 3 workers
+// over 64 points no partition may be empty or hold nearly everything.
+func TestPartitionBalance(t *testing.T) {
+	pts := testGrid(t)
+	const of = 3
+	for part := 0; part < of; part++ {
+		n := len(PartitionPoints(pts, part, of))
+		if n == 0 {
+			t.Errorf("partition %d/%d is empty over %d points", part, of, len(pts))
+		}
+		if n > len(pts)*3/4 {
+			t.Errorf("partition %d/%d holds %d of %d points — hash not spreading", part, of, n, len(pts))
+		}
+	}
+}
+
+// TestOwnsDeterministic: ownership is a pure function of the key.
+func TestOwnsDeterministic(t *testing.T) {
+	pts := testGrid(t)
+	for _, g := range pts[:8] {
+		k := g.Key()
+		for part := 0; part < 3; part++ {
+			a, b := Owns(k, part, 3), Owns(k, part, 3)
+			if a != b {
+				t.Fatalf("Owns(%s, %d, 3) unstable", k, part)
+			}
+		}
+	}
+}
+
+// TestGridID: stable for the same grid, distinct for different grids (two
+// sweeps sharing a store directory must not collide on lease names).
+func TestGridID(t *testing.T) {
+	a := testGrid(t)
+	b := testGrid(t)
+	if ID(a) != ID(b) {
+		t.Fatalf("grid ID unstable: %s vs %s", ID(a), ID(b))
+	}
+	other, err := sim.EnumerateGrid("fig4", "", sim.Options{Instructions: 8000, Warmup: 2000})
+	if err != nil {
+		t.Fatalf("EnumerateGrid(fig4): %v", err)
+	}
+	if ID(a) == ID(other) {
+		t.Fatalf("different grids share ID %s", ID(a))
+	}
+	if name := LeaseName(ID(a), 1, 3); name != ID(a)+"-p1-of3" {
+		t.Fatalf("LeaseName = %q", name)
+	}
+}

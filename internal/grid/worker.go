@@ -1,0 +1,169 @@
+package grid
+
+// The worker loop: claim a partition lease, compute the owned points through
+// the process cache (whose disk tier is the shared store — publication is
+// the store's crash-safe temp+fsync+rename), heartbeat while computing, and
+// exit cleanly when canceled or when the lease is lost. A worker owns no
+// figure-assembly logic at all: its entire output is content-addressed
+// Results in the shared store, which is why a killed worker's partial
+// progress is never wasted and a reassigned partition recomputes only the
+// points the dead worker had not yet published.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"selthrottle/internal/sim"
+)
+
+// WorkerOptions configures one partition run.
+type WorkerOptions struct {
+	// Points is the full enumerated grid (every worker enumerates the same
+	// one); Part/Of select the owned subset.
+	Points []sim.GridPoint
+	Part   int
+	Of     int
+
+	// Owner labels the lease (diagnostics only; the fencing token is the
+	// identity that matters).
+	Owner string
+
+	// Leases, when non-nil, guards the partition with a lease: the worker
+	// takes it over (waiting out a stale crash remnant), heartbeats it, and
+	// stops if it is stolen. Nil runs leaseless.
+	Leases *Manager
+
+	// Supervise is the per-point run policy (deadline, retries, faults).
+	Supervise sim.Supervisor
+
+	// FreezeBeats suppresses heartbeat renewal while computing continues —
+	// the half-dead-process fault (test use only).
+	FreezeBeats bool
+
+	// AfterPoint, when non-nil, runs after each computed point with the
+	// count of points finished so far (fault hooks arm kill-after here).
+	AfterPoint func(done int)
+
+	// Logf, when non-nil, receives progress and degradation notices.
+	Logf func(format string, args ...any)
+}
+
+// WorkerReport summarizes a partition run.
+type WorkerReport struct {
+	Owned       int  // points in this partition
+	Computed    int  // points that produced a valid Result (published to the store)
+	Failed      int  // points that terminally failed
+	Interrupted bool // canceled (signal or lost lease) before finishing
+	LeaseLost   bool // the lease was stolen out from under the worker
+	Leaseless   bool // ran without lease protection (acquire I/O degraded)
+}
+
+// ErrInterrupted reports a worker run canceled before its partition
+// completed — by signal, deadline, or a stolen lease.
+var ErrInterrupted = errors.New("grid: worker interrupted")
+
+func (o *WorkerOptions) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// RunWorker computes one partition of the grid under ctx. The returned
+// report is valid even on error; the error is ErrHeld if a live holder owns
+// the lease, ErrInterrupted (wrapped) if canceled mid-run, nil otherwise —
+// terminally failed points are an exit-status concern, not an error.
+func RunWorker(ctx context.Context, opts WorkerOptions) (WorkerReport, error) {
+	var rep WorkerReport
+	mine := PartitionPoints(opts.Points, opts.Part, opts.Of)
+	rep.Owned = len(mine)
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var lease *Lease
+	if opts.Leases != nil {
+		name := LeaseName(ID(opts.Points), opts.Part, opts.Of)
+		l, err := opts.Leases.Takeover(ctx, name, opts.Owner)
+		switch {
+		case err == nil:
+			lease = l
+			defer lease.Release()
+		case errors.Is(err, ErrHeld):
+			return rep, err
+		default:
+			// fail-fast would be wrong here: an unwritable lease directory
+			// (ENOSPC and kin) must not stop the sweep — the lease only
+			// protects against duplicate compute, and duplicates are
+			// harmless (pure points, last-rename-wins store).
+			rep.Leaseless = true
+			opts.logf("worker p%d: lease degraded, running unprotected: %v", opts.Part, err)
+		}
+	}
+
+	heartbeatDone := make(chan struct{})
+	if lease != nil && !opts.FreezeBeats {
+		go func() {
+			defer close(heartbeatDone)
+			t := time.NewTicker(opts.Leases.BeatInterval())
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+				}
+				if err := lease.Beat(); err != nil {
+					if errors.Is(err, ErrLost) {
+						// invariant: a holder that observes a foreign fencing
+						// token stops computing immediately — this cancel is
+						// the "at most one live holder" guarantee acting.
+						opts.logf("worker p%d: lease lost, stopping: %v", opts.Part, err)
+						cancel()
+						return
+					}
+					opts.logf("worker p%d: heartbeat error (will retry): %v", opts.Part, err)
+				}
+			}
+		}()
+	} else {
+		close(heartbeatDone)
+	}
+
+	sup := opts.Supervise
+	for _, g := range mine {
+		if ctx.Err() != nil {
+			break
+		}
+		_, st := sup.RunPointE(ctx, g.Cfg, g.Profile)
+		if ctx.Err() != nil && !st.OK() {
+			break // cancellation surfacing as a point error, not a real failure
+		}
+		if st.OK() {
+			rep.Computed++
+		} else {
+			rep.Failed++
+			opts.logf("worker p%d: point failed after %d attempt(s): %v", opts.Part, st.Attempts, st.Err)
+		}
+		if opts.AfterPoint != nil {
+			opts.AfterPoint(rep.Computed + rep.Failed)
+		}
+	}
+
+	cancel()
+	<-heartbeatDone
+	if lease != nil && lease.Lost() {
+		rep.LeaseLost = true
+	}
+	if rep.Computed+rep.Failed < rep.Owned {
+		rep.Interrupted = true
+		why := "canceled"
+		if rep.LeaseLost {
+			why = "lease stolen"
+		}
+		return rep, fmt.Errorf("%w: p%d after %d/%d points (%s)",
+			ErrInterrupted, opts.Part, rep.Computed+rep.Failed, rep.Owned, why)
+	}
+	return rep, nil
+}

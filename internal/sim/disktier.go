@@ -85,3 +85,8 @@ func UseDiskStore(dir string) (entries int, err error) {
 func AttachDiskStore(st *store.Store) (previous *store.Store) {
 	return processCache.SetDisk(st)
 }
+
+// DiskStore returns the process-wide cache's attached disk tier, if any —
+// the handle the commands use to configure store-level policy (quarantine
+// warnings) after UseDiskStore.
+func DiskStore() *store.Store { return processCache.Disk() }

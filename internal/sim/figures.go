@@ -101,6 +101,14 @@ type FigureResult struct {
 
 	Statuses []PointStatus  // per grid point, config-major; nil when all OK
 	Failures []PointFailure // failed points; nil when all OK
+
+	// Points is the raw config-major result grid (Baselines is its first
+	// profile-count slots). It is what partitioned runs exchange: a merge of
+	// K partial figures recombines their Points/point statuses and
+	// re-assembles Rows, so the merged figure is built from the same raw
+	// substrate as a single-process run. Cells whose status is failed or
+	// unclaimed hold zero Results.
+	Points []Result
 }
 
 // RunFigure reproduces a bar-chart figure: it runs the baseline and every
@@ -126,22 +134,39 @@ func RunFigure(name string, exps []Experiment, opts Options) *FigureResult {
 // statuses carry the context error.
 func RunFigureE(ctx context.Context, name string, exps []Experiment, opts Options) *FigureResult {
 	opts = opts.withDefaults()
-	base := opts.baseConfig()
 	sup := &opts.Supervise
-
-	cfgs := make([]Config, 1+len(exps))
-	cfgs[0] = base
-	for i, e := range exps {
-		cfgs[i+1] = e.Apply(base)
-	}
+	cfgs := figureConfigs(opts, exps)
 	np := len(opts.Profiles)
 	all := make([]Result, len(cfgs)*np)
 	statuses := make([]PointStatus, len(all))
 	runJobs(len(all), func(r *Runner, k int) {
 		all[k], statuses[k] = sup.runPoint(ctx, r, cfgs[k/np], opts.Profiles[k%np])
 	})
+	return assembleFigure(name, exps, opts, all, statuses)
+}
 
+// figureConfigs expands a figure's experiment list into its config-major
+// configuration axis: the baseline first, then each experiment applied to
+// it. opts must already be defaulted.
+func figureConfigs(opts Options, exps []Experiment) []Config {
+	base := opts.baseConfig()
+	cfgs := make([]Config, 1+len(exps))
+	cfgs[0] = base
+	for i, e := range exps {
+		cfgs[i+1] = e.Apply(base)
+	}
+	return cfgs
+}
+
+// assembleFigure builds a FigureResult from the raw config-major result and
+// status grids — the single assembly path shared by single-process runs,
+// partitioned runs, and the coordinator's merge of per-worker partials, so
+// all three degrade identically. opts must already be defaulted; all and
+// statuses are (1+len(exps))*len(opts.Profiles) slots, config-major.
+func assembleFigure(name string, exps []Experiment, opts Options, all []Result, statuses []PointStatus) *FigureResult {
+	np := len(opts.Profiles)
 	fr := &FigureResult{Name: name, Options: opts}
+	fr.Points = all
 	fr.Baselines = all[:np]
 	nfail := 0
 	for _, st := range statuses {

@@ -1,0 +1,107 @@
+package sim
+
+// Partitioned figure execution and the coordinator-side merge. A figure's
+// (configuration x benchmark) grid is embarrassingly parallel and every
+// point is a pure function of its inputs, so the grid can be sharded across
+// worker processes: each worker runs the points its partition owns and the
+// coordinator recombines the partials. Because assembly is shared
+// (assembleFigure), a merged figure degrades exactly like a single-process
+// run: same Statuses, same Failures, same excluded-cell averages.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"selthrottle/internal/prog"
+)
+
+// ErrUnclaimed marks a grid point no partition ran: in a partial
+// FigureResult it means "owned by some other worker"; surviving into a
+// merged figure it means the coordinator lost a partition entirely and the
+// point degrades like any other failure.
+var ErrUnclaimed = errors.New("sim: grid point not claimed by any partition")
+
+// RunFigurePartE runs the subset of a figure's grid selected by owns (a
+// predicate over the config-major point index and the point's identity)
+// under ctx, leaving every unowned point as a zero Result with an
+// ErrUnclaimed status. The returned partial figure is an input to
+// MergeFigureResults, not a renderable reproduction: its averages exclude
+// the unclaimed cells.
+func RunFigurePartE(ctx context.Context, name string, exps []Experiment, opts Options, owns func(k int, cfg Config, profile prog.Profile) bool) *FigureResult {
+	opts = opts.withDefaults()
+	sup := &opts.Supervise
+	cfgs := figureConfigs(opts, exps)
+	np := len(opts.Profiles)
+	all := make([]Result, len(cfgs)*np)
+	statuses := make([]PointStatus, len(all))
+	mine := make([]int, 0, len(all))
+	for k := range all {
+		if owns(k, cfgs[k/np], opts.Profiles[k%np]) {
+			mine = append(mine, k)
+		} else {
+			statuses[k] = PointStatus{Err: ErrUnclaimed}
+		}
+	}
+	runJobs(len(mine), func(r *Runner, i int) {
+		k := mine[i]
+		all[k], statuses[k] = sup.runPoint(ctx, r, cfgs[k/np], opts.Profiles[k%np])
+	})
+	return assembleFigure(name, exps, opts, all, statuses)
+}
+
+// MergeFigureResults recombines K partial figures of one grid (same name,
+// same shape) into the complete figure. Partitions may overlap — workers
+// commonly all run the baseline column — and may disagree only in failure:
+// for each point the merge takes the first OK result (all OK results of a
+// point are bit-identical, results being pure), falling back to the first
+// claimed failure, falling back to ErrUnclaimed. Rows, averages, Statuses,
+// and Failures are then re-assembled through the same path as a
+// single-process run, so a merged degraded grid is indistinguishable from a
+// locally degraded one.
+func MergeFigureResults(parts ...*FigureResult) (*FigureResult, error) {
+	if len(parts) == 0 {
+		return nil, errors.New("sim: merge of zero figure parts")
+	}
+	first := parts[0]
+	np := len(first.Options.Profiles)
+	n := len(first.Points)
+	exps := make([]Experiment, len(first.Rows))
+	for i, row := range first.Rows {
+		exps[i] = row.Experiment
+	}
+	for _, p := range parts[1:] {
+		if p.Name != first.Name || len(p.Points) != n || len(p.Rows) != len(first.Rows) ||
+			len(p.Options.Profiles) != np {
+			return nil, fmt.Errorf("sim: merge shape mismatch: %q (%d points, %d rows) vs %q (%d points, %d rows)",
+				first.Name, n, len(first.Rows), p.Name, len(p.Points), len(p.Rows))
+		}
+	}
+	all := make([]Result, n)
+	statuses := make([]PointStatus, n)
+	for k := 0; k < n; k++ {
+		merged := PointStatus{Err: ErrUnclaimed}
+		var res Result
+		for _, p := range parts {
+			st := p.statusAt(k)
+			if st.OK() {
+				res, merged = p.Points[k], st
+				break
+			}
+			if !errors.Is(st.Err, ErrUnclaimed) && errors.Is(merged.Err, ErrUnclaimed) {
+				merged = st // first claimed failure, unless a later part succeeded
+			}
+		}
+		all[k], statuses[k] = res, merged
+	}
+	return assembleFigure(first.Name, exps, first.Options, all, statuses), nil
+}
+
+// statusAt returns the point status at config-major index k, synthesizing
+// the all-OK case (Statuses is nil on a fully healthy figure).
+func (fr *FigureResult) statusAt(k int) PointStatus {
+	if fr.Statuses == nil {
+		return PointStatus{Attempts: 1}
+	}
+	return fr.Statuses[k]
+}

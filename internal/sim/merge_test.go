@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"selthrottle/internal/faultinject"
+	"selthrottle/internal/pipe"
+	"selthrottle/internal/prog"
+)
+
+// mergeOpts is the small fast grid the merge tests share.
+func mergeOpts() Options {
+	return Options{Instructions: 20000, Warmup: 5000}
+}
+
+// TestMergeCleanPartitionsMatchesSingleProcess: a figure split across 3
+// disjoint partitions and merged must be indistinguishable — Rows,
+// Baselines, averages, nil Statuses — from the single-process run.
+func TestMergeCleanPartitionsMatchesSingleProcess(t *testing.T) {
+	prev := SetResultCaching(false)
+	defer SetResultCaching(prev)
+	exps := FetchExperiments()[:3]
+	opts := mergeOpts()
+	ctx := context.Background()
+
+	whole := RunFigureE(ctx, "merge-clean", exps, opts)
+	if whole.Failures != nil {
+		t.Fatalf("clean run failed: %v", whole.Failures)
+	}
+
+	const parts = 3
+	var partials []*FigureResult
+	for p := 0; p < parts; p++ {
+		p := p
+		partials = append(partials, RunFigurePartE(ctx, "merge-clean", exps, opts,
+			func(k int, cfg Config, profile prog.Profile) bool { return k%parts == p }))
+	}
+	merged, err := MergeFigureResults(partials...)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if merged.Failures != nil || merged.Statuses != nil {
+		t.Fatalf("merged clean grid degraded: %v", merged.Failures)
+	}
+	if !reflect.DeepEqual(merged.Baselines, whole.Baselines) {
+		t.Fatal("merged baselines diverge from single-process run")
+	}
+	if !reflect.DeepEqual(merged.Rows, whole.Rows) {
+		t.Fatal("merged rows diverge from single-process run")
+	}
+	if !reflect.DeepEqual(merged.Points, whole.Points) {
+		t.Fatal("merged raw points diverge from single-process run")
+	}
+}
+
+// TestMergeDegradedMatchesSingleProcess is the coordinator-merge satellite:
+// K partial figures with OVERLAPPING partitions and deterministically
+// poisoned points, merged, must carry the same Statuses, Failures, and
+// excluded-cell averages as the single-process degraded run of the same
+// poisoned grid — a merged degraded figure is indistinguishable from a
+// locally degraded one.
+func TestMergeDegradedMatchesSingleProcess(t *testing.T) {
+	prev := SetResultCaching(false)
+	defer SetResultCaching(prev)
+	exps := FetchExperiments()[:3]
+	opts := mergeOpts()
+	full := opts.withDefaults()
+	np := len(full.Profiles)
+	n := (1 + len(exps)) * np
+	ctx := context.Background()
+
+	// Poison 4 deterministic points, keyed by grid index exactly as the
+	// config-major layout assigns them.
+	plans := faultinject.Scatter(0xD00D, n, 4, 2000)
+	base := full.baseConfig()
+	cfgIdx := map[Config]int{base: 0}
+	for i, e := range exps {
+		cfgIdx[e.Apply(base)] = i + 1
+	}
+	profIdx := map[string]int{}
+	for j, p := range full.Profiles {
+		profIdx[p.Name] = j
+	}
+	opts.Supervise = Supervisor{
+		PointFault: func(cfg Config, profile prog.Profile) pipe.FaultHook {
+			if pl := plans[cfgIdx[cfg]*np+profIdx[profile.Name]]; pl != nil {
+				return pl
+			}
+			return nil
+		},
+	}
+
+	whole := RunFigureE(ctx, "merge-degraded", exps, opts)
+	if len(whole.Failures) != 4 {
+		t.Fatalf("single-process run: %d failures, want 4", len(whole.Failures))
+	}
+
+	// Three overlapping partitions: two halves plus a third that re-runs
+	// every third point (workers commonly share baselines; the merge must
+	// tolerate arbitrary overlap).
+	owns := []func(k int) bool{
+		func(k int) bool { return k%2 == 0 },
+		func(k int) bool { return k%2 == 1 },
+		func(k int) bool { return k%3 == 0 },
+	}
+	var partials []*FigureResult
+	for _, own := range owns {
+		own := own
+		partials = append(partials, RunFigurePartE(ctx, "merge-degraded", exps, opts,
+			func(k int, cfg Config, profile prog.Profile) bool { return own(k) }))
+	}
+	merged, err := MergeFigureResults(partials...)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+
+	if len(merged.Statuses) != n || len(whole.Statuses) != n {
+		t.Fatalf("status lengths: merged %d, whole %d, want %d", len(merged.Statuses), len(whole.Statuses), n)
+	}
+	for k := range merged.Statuses {
+		if merged.Statuses[k].OK() != whole.Statuses[k].OK() {
+			t.Fatalf("point %d: merged OK=%v, single-process OK=%v",
+				k, merged.Statuses[k].OK(), whole.Statuses[k].OK())
+		}
+	}
+	if len(merged.Failures) != len(whole.Failures) {
+		t.Fatalf("merged %d failures, single-process %d", len(merged.Failures), len(whole.Failures))
+	}
+	for i := range merged.Failures {
+		mf, wf := merged.Failures[i], whole.Failures[i]
+		if mf.Experiment != wf.Experiment || mf.Benchmark != wf.Benchmark {
+			t.Fatalf("failure %d: merged (%s,%s) vs single-process (%s,%s)",
+				i, mf.Experiment, mf.Benchmark, wf.Experiment, wf.Benchmark)
+		}
+	}
+	if !reflect.DeepEqual(merged.Baselines, whole.Baselines) {
+		t.Fatal("merged degraded baselines diverge")
+	}
+	if !reflect.DeepEqual(merged.Rows, whole.Rows) {
+		t.Fatal("merged degraded rows (averages exclude failed cells) diverge")
+	}
+}
+
+// TestMergeUnclaimedDegrades: a point no partition owns survives the merge
+// as a failure (ErrUnclaimed), degrading the figure exactly like a run
+// failure — zero cell, excluded from averages.
+func TestMergeUnclaimedDegrades(t *testing.T) {
+	prev := SetResultCaching(false)
+	defer SetResultCaching(prev)
+	exps := FetchExperiments()[:1]
+	opts := mergeOpts()
+	ctx := context.Background()
+
+	// One partition owning everything except point 3.
+	part := RunFigurePartE(ctx, "merge-hole", exps, opts,
+		func(k int, cfg Config, profile prog.Profile) bool { return k != 3 })
+	merged, err := MergeFigureResults(part)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if len(merged.Failures) != 1 {
+		t.Fatalf("%d failures, want 1: %v", len(merged.Failures), merged.Failures)
+	}
+	if !merged.Statuses[3].OK() == false {
+		t.Fatalf("point 3 status: %+v", merged.Statuses[3])
+	}
+	if merged.Statuses[3].Err == nil {
+		t.Fatal("unclaimed point has nil error")
+	}
+}
+
+// TestMergeShapeMismatch: merging partials of different grids is an error,
+// not a silent corruption.
+func TestMergeShapeMismatch(t *testing.T) {
+	prev := SetResultCaching(false)
+	defer SetResultCaching(prev)
+	opts := mergeOpts()
+	ctx := context.Background()
+	a := RunFigurePartE(ctx, "grid-a", FetchExperiments()[:1], opts,
+		func(k int, cfg Config, profile prog.Profile) bool { return false })
+	b := RunFigurePartE(ctx, "grid-b", FetchExperiments()[:2], opts,
+		func(k int, cfg Config, profile prog.Profile) bool { return false })
+	if _, err := MergeFigureResults(a, b); err == nil {
+		t.Fatal("shape mismatch not detected")
+	}
+	if _, err := MergeFigureResults(); err == nil {
+		t.Fatal("empty merge not detected")
+	}
+}

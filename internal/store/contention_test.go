@@ -1,0 +1,148 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"sync"
+	"testing"
+)
+
+// hammerEntry is the recognizable value family every contending writer
+// draws from: writer w's iteration i. A surviving entry must decode clean
+// AND belong to the family — a torn interleaving of two writers' bytes
+// would either fail the CRC or produce an out-of-family value.
+func hammerEntry(writer, iter int) Entry {
+	e := filledEntry()
+	e.IPC = float64(writer)
+	e.Seconds = float64(iter)
+	return e
+}
+
+// hammerKey is the single key every writer races on.
+func hammerKey() Key {
+	var k Key
+	for i := range k {
+		k[i] = byte(i * 7)
+	}
+	return k
+}
+
+const (
+	hammerDirEnv    = "SELTHROTTLE_STORE_HAMMER_DIR"
+	hammerWriterEnv = "SELTHROTTLE_STORE_HAMMER_WRITER"
+	hammerIters     = 200
+)
+
+// TestStoreHammerHelper is not a test: it is the body of the subprocess
+// writers TestPutContentionAcrossProcesses spawns (the standard re-exec
+// helper pattern). Without the env vars it does nothing.
+func TestStoreHammerHelper(t *testing.T) {
+	dir := os.Getenv(hammerDirEnv)
+	if dir == "" {
+		t.Skip("helper process body; driven by TestPutContentionAcrossProcesses")
+	}
+	writer := 0
+	fmt.Sscanf(os.Getenv(hammerWriterEnv), "%d", &writer)
+	s, err := Open(dir, nil)
+	if err != nil {
+		t.Fatalf("helper open: %v", err)
+	}
+	k := hammerKey()
+	for i := 0; i < hammerIters; i++ {
+		e := hammerEntry(writer, i)
+		if err := s.Put(k, &e); err != nil {
+			t.Fatalf("helper put: %v", err)
+		}
+	}
+}
+
+// TestPutContentionAcrossProcesses is the last-rename-wins contention
+// test: N goroutines in this process plus two real subprocesses hammer the
+// SAME store key concurrently. Whatever interleaving the kernel picks, the
+// survivor must decode clean (CRC intact, recognizable value), the store
+// must quarantine nothing, and a fresh recovery-scanning Open must agree —
+// publication is atomic rename, so a reader can never observe a torn mix of
+// two writers.
+func TestPutContentionAcrossProcesses(t *testing.T) {
+	dir := t.TempDir()
+	k := hammerKey()
+
+	procs := make([]*exec.Cmd, 2)
+	for w := range procs {
+		cmd := exec.Command(os.Args[0], "-test.run=TestStoreHammerHelper$", "-test.count=1")
+		cmd.Env = append(os.Environ(),
+			hammerDirEnv+"="+dir,
+			fmt.Sprintf("%s=%d", hammerWriterEnv, 100+w))
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("spawn writer %d: %v", w, err)
+		}
+		procs[w] = cmd
+	}
+
+	s, err := Open(dir, nil)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < hammerIters; i++ {
+				e := hammerEntry(g, i)
+				if err := s.Put(k, &e); err != nil {
+					t.Errorf("goroutine %d put: %v", g, err)
+					return
+				}
+				// Concurrent readers must always decode clean mid-hammer.
+				if got, ok, err := s.Get(k); err != nil {
+					t.Errorf("goroutine %d get: %v", g, err)
+					return
+				} else if ok && !validHammerEntry(got) {
+					t.Errorf("goroutine %d read out-of-family entry: writer=%v iter=%v", g, got.IPC, got.Seconds)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for w, cmd := range procs {
+		if err := cmd.Wait(); err != nil {
+			t.Fatalf("writer process %d: %v", w, err)
+		}
+	}
+
+	// A fresh open replays the recovery scan over whatever the contention
+	// left on disk: nothing may be quarantined, and the key must hold one
+	// clean family value.
+	s2, err := Open(dir, nil)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if q := s2.Stats().QuarantineFiles; q != 0 {
+		t.Fatalf("contention quarantined %d files", q)
+	}
+	got, ok, err := s2.Get(k)
+	if err != nil || !ok {
+		t.Fatalf("survivor Get: ok=%v err=%v", ok, err)
+	}
+	if !validHammerEntry(got) {
+		t.Fatalf("survivor out of family: writer=%v iter=%v", got.IPC, got.Seconds)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("store holds %d entries, want 1", s2.Len())
+	}
+}
+
+// validHammerEntry checks membership in the writer-value family.
+func validHammerEntry(e Entry) bool {
+	w, i := int(e.IPC), int(e.Seconds)
+	if float64(w) != e.IPC || float64(i) != e.Seconds {
+		return false
+	}
+	ref := hammerEntry(w, i)
+	return e == ref
+}

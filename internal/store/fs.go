@@ -25,6 +25,12 @@ type FS interface {
 	ReadFile(path string) ([]byte, error)
 	// WriteFile creates or truncates path, writes data, and fsyncs it.
 	WriteFile(path string, data []byte) error
+	// CreateExclusive creates path with O_EXCL semantics — it fails with an
+	// error satisfying errors.Is(err, fs.ErrExist) if the file already
+	// exists — writes data, and fsyncs it. This is the one primitive whose
+	// failure is meaningful rather than an error: it is how exactly one of
+	// several racing processes wins a claim (internal/grid's leases).
+	CreateExclusive(path string, data []byte) error
 	// Rename atomically replaces newpath with oldpath.
 	Rename(oldpath, newpath string) error
 	// Remove deletes the file at path.
@@ -61,6 +67,24 @@ func (OSFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
 // fails the write.
 func (OSFS) WriteFile(path string, data []byte) error {
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// CreateExclusive implements FS: O_CREATE|O_EXCL create, write, fsync,
+// close. The kernel guarantees at most one concurrent creator succeeds.
+func (OSFS) CreateExclusive(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return err
 	}

@@ -19,11 +19,15 @@ package store
 
 import (
 	"encoding/hex"
+	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 )
 
 // Key addresses one entry: the SHA-256 of the canonical simulation point.
@@ -57,6 +61,7 @@ type Stats struct {
 	Entries           int    // valid entries currently indexed
 	QuarantinedAtOpen int    // entries quarantined by the last Open's scan
 	Quarantined       uint64 // total quarantined since Open (scan + Get-time)
+	QuarantineFiles   int    // files accumulated in quarantine/ (all opens)
 	Hits              uint64 // Gets served from disk
 	Misses            uint64 // Gets with no (valid) entry
 	Puts              uint64 // successful publishes
@@ -79,11 +84,21 @@ type Store struct {
 
 	quarantinedAtOpen int
 	quarantined       atomic.Uint64
+	quarantineFiles   atomic.Int64 // files resident in quarantine/ (counted at Open, bumped per move)
 	hits, misses      atomic.Uint64
 	puts              atomic.Uint64
 	readErrs          atomic.Uint64
 	writeErrs         atomic.Uint64
 	tmpSeq            atomic.Uint64
+
+	// Quarantine growth bound: quarantine/ accumulates across process
+	// lifetimes (nothing ever reads it back), so a store fed a stream of
+	// corruption would grow it without limit and without anyone noticing.
+	// When the resident file count first exceeds warnAt (> 0), warnFn is
+	// called exactly once — an operator signal, never a failure.
+	warnAt   int
+	warnOnce sync.Once
+	warnFn   func(files int)
 }
 
 // Open opens (creating if necessary) the store rooted at dir on fsys (nil
@@ -103,8 +118,25 @@ func Open(dir string, fsys FS) (*Store, error) {
 	if err := fsys.MkdirAll(filepath.Join(dir, quarantineDir)); err != nil {
 		return nil, fmt.Errorf("store: open %s: %w", dir, err)
 	}
+	if names, err := fsys.ReadDir(filepath.Join(dir, quarantineDir)); err == nil {
+		s.quarantineFiles.Store(int64(len(names)))
+	}
 	s.recover()
 	return s, nil
+}
+
+// SetQuarantineWarn arms the quarantine-growth warning: once the number of
+// files resident in quarantine/ exceeds n (> 0), warn is called exactly once
+// with the count at the moment of crossing. n <= 0 or a nil warn disarms it.
+// The count is checked immediately on arming — Open's recovery scan runs
+// before any caller can arm the warning, so files quarantined at open (or
+// left over from earlier processes) must be able to trip it here.
+func (s *Store) SetQuarantineWarn(n int, warn func(files int)) {
+	s.warnAt = n
+	s.warnFn = warn
+	if files := int(s.quarantineFiles.Load()); n > 0 && warn != nil && files > n {
+		s.warnOnce.Do(func() { warn(files) })
+	}
 }
 
 // recover is the open-time scan. Every failure mode is contained: an
@@ -129,9 +161,16 @@ func (s *Store) recover() {
 		for _, name := range files {
 			path := filepath.Join(shardPath, name)
 			if strings.HasPrefix(name, TmpPrefix) {
-				// Orphan of an interrupted write: never published, safe to
-				// drop.
-				s.fs.Remove(path)
+				// Temp file of an interrupted OR in-flight write. Multiple
+				// processes share one store (multi-worker sweeps), so
+				// "orphan" must mean "its writer is dead": the name carries
+				// the writer's PID, and only temp files whose writer no
+				// longer exists are dropped. A live writer's temp file is
+				// about to be renamed into place — deleting it here would
+				// fail that writer's publish out from under it.
+				if tmpWriterDead(name) {
+					s.fs.Remove(path)
+				}
 				continue
 			}
 			key, ok := ParseKey(strings.TrimSuffix(name, EntrySuffix))
@@ -162,8 +201,42 @@ func (s *Store) quarantine(path, when string) {
 		fmt.Sprintf("%s.%s.%d", filepath.Base(path), when, s.tmpSeq.Add(1)))
 	if err := s.fs.Rename(path, dest); err != nil {
 		s.fs.Remove(path)
+	} else {
+		files := int(s.quarantineFiles.Add(1))
+		if s.warnAt > 0 && files > s.warnAt && s.warnFn != nil {
+			s.warnOnce.Do(func() { s.warnFn(files) })
+		}
 	}
 	s.quarantined.Add(1)
+}
+
+// tmpWriterDead reports whether a temp file's writing process is gone. The
+// name encodes the writer's PID (.tmp-<key16>.<pid>.<seq>); a missing or
+// unparsable PID field (old-format or foreign temp files) counts as dead.
+// PID reuse can make a stale temp look alive — the cost is a leftover temp
+// file until a later open, never a lost entry.
+func tmpWriterDead(name string) bool {
+	parts := strings.Split(name, ".")
+	if len(parts) != 4 {
+		return true
+	}
+	pid, err := strconv.Atoi(parts[2])
+	if err != nil || pid <= 0 {
+		return true
+	}
+	if pid == os.Getpid() {
+		// Our own in-flight writes cannot exist during open; any temp file
+		// bearing our PID is a recycled-PID leftover.
+		return true
+	}
+	p, err := os.FindProcess(pid)
+	if err != nil {
+		return true
+	}
+	// Signal 0 probes existence without delivering anything; EPERM still
+	// proves the process exists.
+	err = p.Signal(syscall.Signal(0))
+	return err != nil && !errors.Is(err, syscall.EPERM)
 }
 
 func isHex(s string) bool {
@@ -226,7 +299,12 @@ func (s *Store) Put(k Key, e *Entry) error {
 		s.writeErrs.Add(1)
 		return fmt.Errorf("store: put %s: %w", k, err)
 	}
-	tmp := filepath.Join(shardPath, fmt.Sprintf("%s%s.%d", TmpPrefix, name[:16], s.tmpSeq.Add(1)))
+	// invariant: the temp name must be unique across PROCESSES, not just
+	// goroutines — concurrent writers of one key in different processes
+	// would otherwise collide on the temp path, and one writer's rename
+	// would consume the other's temp file out from under it. The PID makes
+	// names disjoint per process; the sequence makes them disjoint within.
+	tmp := filepath.Join(shardPath, fmt.Sprintf("%s%s.%d.%d", TmpPrefix, name[:16], os.Getpid(), s.tmpSeq.Add(1)))
 	if err := s.fs.WriteFile(tmp, data); err != nil {
 		s.fs.Remove(tmp)
 		s.writeErrs.Add(1)
@@ -273,6 +351,7 @@ func (s *Store) Stats() Stats {
 		Entries:           entries,
 		QuarantinedAtOpen: s.quarantinedAtOpen,
 		Quarantined:       s.quarantined.Load(),
+		QuarantineFiles:   int(s.quarantineFiles.Load()),
 		Hits:              s.hits.Load(),
 		Misses:            s.misses.Load(),
 		Puts:              s.puts.Load(),
