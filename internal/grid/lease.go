@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"selthrottle/internal/store"
+	"selthrottle/internal/xrand"
 )
 
 // Lease protocol constants.
@@ -74,6 +75,11 @@ type Clock func() time.Duration
 
 // monotonicClock returns a Clock backed by the runtime monotonic clock
 // (time.Since carries the monotonic reading, immune to wall-clock steps).
+// The reading is reader-local and never written to disk or output: lease
+// expiry is each observer's own judgement, so this is the grid package's
+// one sanctioned clock read.
+//
+//st:wallclock — reader-local monotonic lease expiry; never reaches output
 func monotonicClock() Clock {
 	start := time.Now()
 	return func() time.Duration { return time.Since(start) }
@@ -187,16 +193,44 @@ func parseLease(data []byte) (leaseInfo, error) {
 	return li, nil
 }
 
+// TokenFallbackSeed is the documented seed of the fencing-token fallback
+// stream: when crypto/rand is unavailable, tokens are drawn from a
+// process-local splitmix64 stream seeded xrand.Hash2(TokenFallbackSeed,
+// pid). Mixing the PID keeps two degraded processes from colliding, while
+// the fixed seed makes a process's token sequence reproducible under test
+// (seed the stream yourself via fallbackTokens to pin it exactly).
+// (Simulation determinism is untouched either way — tokens never influence
+// results, only who may keep computing them.)
+const TokenFallbackSeed = 0x73746c6561736531 // "stlease1"
+
+// tokenFallback is the lazily seeded degraded entropy stream; guarded by a
+// mutex because several heartbeat goroutines may hit the fallback at once.
+var tokenFallback struct {
+	sync.Mutex
+	rng *xrand.Rand
+}
+
+// fallbackTokens reseeds the fallback stream (tests pin it) and returns the
+// generator for inspection.
+func fallbackTokens(seed uint64) *xrand.Rand {
+	tokenFallback.Lock()
+	defer tokenFallback.Unlock()
+	tokenFallback.rng = xrand.New(seed)
+	return tokenFallback.rng
+}
+
 // newToken draws a fencing token. Uniqueness across processes is what
-// matters; crypto/rand provides it without coordination. (Simulation
-// determinism is untouched — tokens never influence results, only who may
-// keep computing them.)
+// matters; crypto/rand provides it without coordination, and the degraded
+// fallback is the documented deterministic stream above.
 func newToken() uint64 {
 	var b [8]byte
 	if _, err := rand.Read(b[:]); err != nil {
-		// Degraded fallback: address-of-local entropy is poor but the token
-		// only needs to differ from one prior holder's.
-		return uint64(time.Now().UnixNano())
+		tokenFallback.Lock()
+		defer tokenFallback.Unlock()
+		if tokenFallback.rng == nil {
+			tokenFallback.rng = xrand.New(xrand.Hash2(TokenFallbackSeed, uint64(os.Getpid())))
+		}
+		return tokenFallback.rng.Uint64()
 	}
 	return binary.LittleEndian.Uint64(b[:])
 }

@@ -1,0 +1,149 @@
+package lint
+
+// A standard-library re-creation of golang.org/x/tools' analysistest, sized
+// to this suite: each fixture directory under testdata/ is one package,
+// type-checked against the standard library from source (no export data or
+// network needed), with expectations written as `// want "regexp"` comments
+// on the line the diagnostic must land on. The import path is supplied per
+// fixture so scope-sensitive analyzers (barepanic, fsseam, determinism) see
+// the same package paths they see in production runs.
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// One fset + source importer for the whole test binary: the importer caches
+// type-checked std packages, so the expensive from-source import of fmt/os/
+// time/math/rand happens once, not per fixture.
+var (
+	testFset         = token.NewFileSet()
+	testImporterOnce sync.Once
+	testImporterV    types.Importer
+)
+
+func testImporter() types.Importer {
+	testImporterOnce.Do(func() {
+		testImporterV = importer.ForCompiler(testFset, "source", nil)
+	})
+	return testImporterV
+}
+
+// want is one expectation: a diagnostic whose position is (file, line) and
+// whose message matches re.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+var wantRx = regexp.MustCompile(`// want (.*)$`)
+var wantArgRx = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// runFixture type-checks the fixture package in dir under importPath, runs
+// the analyzer, and diffs the diagnostics against the fixture's // want
+// comments.
+func runFixture(t *testing.T, a *Analyzer, dir, importPath string) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []*ast.File
+	var wants []*want
+	for _, ent := range ents {
+		if !strings.HasSuffix(ent.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, ent.Name())
+		f, err := parser.ParseFile(testFset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", path, err)
+		}
+		files = append(files, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRx.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := testFset.Position(c.Pos())
+				for _, q := range wantArgRx.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	sort.Slice(files, func(i, j int) bool {
+		return testFset.Position(files[i].Package).Filename < testFset.Position(files[j].Package).Filename
+	})
+
+	var typeErrs []error
+	tc := &types.Config{
+		Importer: testImporter(),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, _ := tc.Check(importPath, testFset, files, info)
+	if len(typeErrs) > 0 {
+		t.Fatalf("fixture %s does not type-check: %v", dir, typeErrs)
+	}
+
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      testFset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		report:    func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		pos := testFset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.used && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// BarePanic enforces the typed-failure contract of PR 6: the packages whose
+// panics would kill a worker process mid-sweep may panic only at sites that
+// are deliberately fail-fast and annotated as such. RunE's recover converts
+// `// invariant:` panics into *pipe.RunError snapshots; `// fail-fast:`
+// marks the legacy APIs' intentional re-raises. Anything else is a failure
+// path that must return a typed error instead.
+//
+// This is the AST-aware successor of the CI shell gate
+// (`grep 'panic(' internal/pipe internal/sim`): unlike the grep it cannot
+// be fooled by the string "panic(" inside comments or literals, it resolves
+// the identifier to the real builtin (a local `panic` function does not
+// count), it accepts the annotation on the panic line, the line above, or
+// the enclosing declaration's doc comment, and it extends coverage to
+// internal/grid and internal/store.
+var BarePanic = &Analyzer{
+	Name: "barepanic",
+	Doc: "flag panic() outside annotated `// invariant:` / `// fail-fast:` sites " +
+		"in internal/pipe, internal/sim, internal/grid, internal/store",
+	Run: runBarePanic,
+}
+
+var barePanicScope = []string{
+	"internal/pipe",
+	"internal/sim",
+	"internal/grid",
+	"internal/store",
+}
+
+func runBarePanic(pass *Pass) error {
+	if !pass.inScope(barePanicScope) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			doc := declDoc(decl)
+			allowedByDoc := docHas(doc, "invariant:") || docHas(doc, "fail-fast:")
+			ast.Inspect(decl, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || !pass.isBuiltin(id, "panic") {
+					return true
+				}
+				if allowedByDoc ||
+					pass.noteAt(call.Pos(), "invariant:") ||
+					pass.noteAt(call.Pos(), "fail-fast:") {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"bare panic: annotate the site `// invariant:` (cannot-happen machine state, recovered into *RunError) or `// fail-fast:` (deliberate legacy re-raise), or return a typed error")
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// declDoc returns the doc comment of a top-level declaration.
+func declDoc(decl ast.Decl) *ast.CommentGroup {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		return d.Doc
+	case *ast.GenDecl:
+		return d.Doc
+	}
+	return nil
+}

@@ -1,0 +1,227 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Main implements the `go vet -vettool` protocol over the given analyzers,
+// using only the standard library (the repository has no module
+// dependencies, so the usual golang.org/x/tools/go/analysis/unitchecker is
+// deliberately not used). The protocol, as spoken by cmd/go:
+//
+//   - `stlint -V=full` prints a tool-identity line cmd/go hashes into its
+//     action cache key;
+//   - `stlint -flags` prints a JSON description of the tool's flags (none);
+//   - `stlint <dir>/vet.cfg` analyzes one package unit: the cfg file is
+//     JSON carrying the unit's Go files, the import map, and the compiled
+//     export data of every dependency (readable with the standard gc
+//     importer), plus VetxOnly/VetxOutput bookkeeping for cmd/go's
+//     fact-propagation cache (stlint has no cross-package facts, so it
+//     writes an empty vetx file).
+//
+// Diagnostics go to stderr as `file:line:col: [analyzer] message`; under
+// GITHUB_ACTIONS each is also emitted in workflow-annotation form
+// (`::error file=...`) so findings surface inline on the PR diff. Exit
+// status: 0 clean, 2 findings, 1 tool failure.
+func Main(analyzers ...*Analyzer) {
+	args := os.Args[1:]
+	progname := filepath.Base(os.Args[0])
+	for _, arg := range args {
+		switch arg {
+		case "-V=full", "--V=full":
+			// The "devel ... buildID=" shape is what cmd/go's toolID parser
+			// accepts for non-release tools; a constant content ID opts out
+			// of cross-run result caching (CI caches the binary instead).
+			fmt.Printf("%s version devel buildID=do-not-cache\n", progname)
+			return
+		case "-flags", "--flags":
+			fmt.Println("[]")
+			return
+		case "-h", "-help", "--help":
+			fmt.Fprintf(os.Stderr, "usage: go vet -vettool=$(command -v %s) ./...\n\nanalyzers:\n", progname)
+			for _, a := range analyzers {
+				fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+			}
+			os.Exit(2)
+		}
+	}
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		fmt.Fprintf(os.Stderr, "%s: expected a single vet .cfg argument (run via go vet -vettool=%s); see -help\n", progname, progname)
+		os.Exit(1)
+	}
+	diags, err := runUnit(args[0], analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	if len(diags.list) > 0 {
+		diags.print()
+		os.Exit(2)
+	}
+}
+
+// vetConfig mirrors cmd/go's internal vetConfig JSON (the fields stlint
+// consumes; unknown fields are ignored by encoding/json).
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoVersion    string
+	GoFiles      []string
+	IgnoredFiles []string
+	ImportMap    map[string]string
+	PackageFile  map[string]string
+	VetxOnly     bool
+	VetxOutput   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// diagList accumulates diagnostics with the FileSet needed to print them.
+type diagList struct {
+	fset *token.FileSet
+	list []Diagnostic
+}
+
+func (d *diagList) print() {
+	sort.SliceStable(d.list, func(i, j int) bool { return d.list[i].Pos < d.list[j].Pos })
+	github := os.Getenv("GITHUB_ACTIONS") == "true"
+	workspace := os.Getenv("GITHUB_WORKSPACE")
+	for _, diag := range d.list {
+		posn := d.fset.Position(diag.Pos)
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", posn, diag.Analyzer, diag.Message)
+		if github {
+			file := posn.Filename
+			if workspace != "" {
+				if rel, err := filepath.Rel(workspace, file); err == nil && !strings.HasPrefix(rel, "..") {
+					file = rel
+				}
+			}
+			// Workflow commands reserve %, \r, \n in the message.
+			msg := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A").Replace(diag.Message)
+			fmt.Fprintf(os.Stderr, "::error file=%s,line=%d,col=%d,title=stlint/%s::%s\n",
+				file, posn.Line, posn.Column, diag.Analyzer, msg)
+		}
+	}
+}
+
+func runUnit(cfgPath string, analyzers []*Analyzer) (*diagList, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", cfgPath, err)
+	}
+	// cmd/go requires the vetx (facts) output file even from a tool with no
+	// facts, and VetxOnly units (dependencies vetted purely for facts) need
+	// nothing else.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("stlint: no facts\n"), 0o666); err != nil {
+			return nil, err
+		}
+	}
+	diags := &diagList{fset: token.NewFileSet()}
+	if cfg.VetxOnly {
+		return diags, nil
+	}
+
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(diags.fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return &diagList{fset: diags.fset}, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	imp := &cfgImporter{cfg: &cfg}
+	imp.gc = importer.ForCompiler(diags.fset, cfg.Compiler, imp.lookup)
+	var typeErrs []error
+	tc := &types.Config{
+		Importer:  imp,
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor(cfg.Compiler, buildArch()),
+		Error:     func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, _ := tc.Check(cfg.ImportPath, diags.fset, files, info)
+	if len(typeErrs) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			return &diagList{fset: diags.fset}, nil
+		}
+		return nil, fmt.Errorf("typecheck %s: %v", cfg.ImportPath, typeErrs[0])
+	}
+
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      diags.fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			report:    func(d Diagnostic) { diags.list = append(diags.list, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %v", a.Name, err)
+		}
+	}
+	return diags, nil
+}
+
+// cfgImporter resolves imports against the vet config: source import paths
+// map through ImportMap to canonical package paths, whose compiled export
+// data (PackageFile) the standard gc importer reads.
+type cfgImporter struct {
+	cfg *vetConfig
+	gc  types.Importer
+}
+
+func (ci *cfgImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := ci.cfg.ImportMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return ci.gc.Import(path)
+}
+
+func (ci *cfgImporter) lookup(path string) (io.ReadCloser, error) {
+	file, ok := ci.cfg.PackageFile[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q in vet config", path)
+	}
+	return os.Open(file)
+}
+
+// buildArch returns the architecture whose type sizes the unit should be
+// checked with (cross builds pass GOARCH through the environment).
+func buildArch() string {
+	if a := os.Getenv("GOARCH"); a != "" {
+		return a
+	}
+	return runtime.GOARCH
+}

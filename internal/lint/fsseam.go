@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+)
+
+// FSSeam keeps every byte of store and lease I/O interceptable: the
+// crash-consistency and fault-injection guarantees of internal/store and
+// internal/grid (torn writes, ENOSPC, bit rot, lease races — all injected
+// through faultinject.DiskFS) hold only if those packages reach the disk
+// exclusively through the store.FS seam. A direct os.* file operation or a
+// syscall function call added anywhere else would silently bypass the
+// injection point, so this analyzer forbids them everywhere except fs.go,
+// the seam's production implementation (OSFS).
+//
+// Non-I/O uses of os (os.Getpid, os.FindProcess, process signalling) and
+// syscall *values* (syscall.ENOSPC for errors.Is, the syscall.Signal type)
+// remain legal; only file-operation calls are the seam's business. A
+// deliberate exception carries a `//st:rawfs` annotation with a one-line
+// justification.
+var FSSeam = &Analyzer{
+	Name: "fsseam",
+	Doc: "forbid direct os.*/syscall file operations in internal/store and " +
+		"internal/grid outside the store.FS seam (fs.go)",
+	Run: runFSSeam,
+}
+
+var fsSeamScope = []string{
+	"internal/store",
+	"internal/grid",
+}
+
+// osFileOps is the set of os package functions that touch the filesystem.
+// Process-control helpers (Getpid, FindProcess, Exit...) are deliberately
+// absent: they carry no I/O the fault injector needs to intercept.
+var osFileOps = map[string]bool{
+	"Chdir": true, "Chmod": true, "Chown": true, "Chtimes": true,
+	"Create": true, "CreateTemp": true, "Lchown": true, "Link": true,
+	"Lstat": true, "Mkdir": true, "MkdirAll": true, "MkdirTemp": true,
+	"NewFile": true, "Open": true, "OpenFile": true, "OpenInRoot": true,
+	"OpenRoot": true, "ReadDir": true, "ReadFile": true, "Readlink": true,
+	"Remove": true, "RemoveAll": true, "Rename": true, "Stat": true,
+	"Symlink": true, "Truncate": true, "WriteFile": true,
+}
+
+func runFSSeam(pass *Pass) error {
+	if !pass.inScope(fsSeamScope) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		if filepath.Base(pass.Fset.Position(f.Package).Filename) == "fs.go" {
+			continue // the seam's production implementation is the one allowed caller
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			path, name := pass.selectorPkg(sel)
+			switch path {
+			case "os":
+				if osFileOps[name] && !pass.noteAt(sel.Pos(), "st:rawfs") {
+					pass.Reportf(sel.Pos(),
+						"direct os.%s bypasses the store.FS seam (faultinject.DiskFS cannot intercept it); route the operation through the package's store.FS", name)
+				}
+			case "io/ioutil":
+				if !pass.noteAt(sel.Pos(), "st:rawfs") {
+					pass.Reportf(sel.Pos(),
+						"direct ioutil.%s bypasses the store.FS seam; route the operation through the package's store.FS", name)
+				}
+			case "syscall":
+				// Constants (syscall.ENOSPC) and types (syscall.Signal) are
+				// fine — only function calls perform I/O or process ops the
+				// seam should own.
+				if obj, ok := pass.TypesInfo.Uses[sel.Sel]; ok {
+					if _, isFunc := obj.(*types.Func); isFunc && !pass.noteAt(sel.Pos(), "st:rawfs") {
+						pass.Reportf(sel.Pos(),
+							"direct syscall.%s bypasses the store.FS seam; use the seam (or errors.Is against syscall constants)", name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

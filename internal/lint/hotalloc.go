@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotAlloc is the static half of the 0 allocs/op benchmark gate: functions
+// on the cycle-loop call graph are annotated `//st:hotpath` in their doc
+// comments, and inside them every allocation-inducing construct is flagged:
+//
+//   - make, new
+//   - slice and map composite literals, and address-taken composite
+//     literals (&T{...})
+//   - function literals (closure allocation)
+//   - append whose destination is not its own first argument — the pooled
+//     idiom `x = append(x, v)` amortizes to zero in steady state because
+//     the backing array survives Reset, while `y = append(x, v)` is a
+//     fresh-allocation risk on every growth
+//   - interface boxing: passing a non-interface value to an interface
+//     (including variadic ...any) parameter, or converting to an interface
+//     type
+//
+// Arguments of panic(...) are exempt: a panicking cycle is terminal by
+// definition, so its diagnostics (fmt.Sprintf and friends) may allocate.
+// A justified exception elsewhere carries `//st:alloc-ok` on its line or
+// the line above; BenchmarkSingleRun remains the dynamic arbiter.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flag allocation-inducing constructs inside //st:hotpath functions",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !directiveIn(fd.Doc, "//st:hotpath") {
+				continue
+			}
+			pass.checkHotFunc(fd)
+		}
+	}
+	return nil
+}
+
+func (p *Pass) checkHotFunc(fd *ast.FuncDecl) {
+	selfAppends := p.selfAppendCalls(fd.Body)
+	name := fd.Name.Name
+
+	// walk descends the body keeping a count of enclosing panic(...) calls:
+	// anything inside a panic argument is on a terminal path and exempt.
+	var walk func(n ast.Node, coldDepth int)
+	flag := func(n ast.Node, coldDepth int, format string, args ...any) {
+		if coldDepth > 0 || p.noteAt(n.Pos(), "st:alloc-ok") {
+			return
+		}
+		p.Reportf(n.Pos(), "//st:hotpath %s: "+format+" (annotate //st:alloc-ok with a justification if deliberate)",
+			append([]any{name}, args...)...)
+	}
+	walk = func(n ast.Node, coldDepth int) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok {
+					switch {
+					case p.isBuiltin(id, "panic"):
+						for _, arg := range n.Args {
+							walk(arg, coldDepth+1)
+						}
+						return false
+					case p.isBuiltin(id, "make"):
+						flag(n, coldDepth, "make allocates")
+						return true
+					case p.isBuiltin(id, "new"):
+						flag(n, coldDepth, "new allocates")
+						return true
+					case p.isBuiltin(id, "append"):
+						if !selfAppends[n] {
+							flag(n, coldDepth, "append to a destination other than its own first argument allocates on growth; use the pooled x = append(x, ...) idiom")
+						}
+						return true
+					}
+				}
+				p.checkBoxing(n, name, coldDepth, flag)
+			case *ast.FuncLit:
+				flag(n, coldDepth, "closure allocates")
+				return false // the literal's body runs elsewhere; one finding is enough
+			case *ast.CompositeLit:
+				t := p.TypesInfo.TypeOf(n)
+				if t == nil {
+					return true
+				}
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					flag(n, coldDepth, "slice literal allocates")
+				case *types.Map:
+					flag(n, coldDepth, "map literal allocates")
+				}
+			case *ast.UnaryExpr:
+				if lit, ok := n.X.(*ast.CompositeLit); ok && n.Op.String() == "&" {
+					flag(n, coldDepth, "address-taken composite literal &%s{...} escapes to the heap", types.ExprString(lit.Type))
+				}
+			}
+			return true
+		})
+	}
+	walk(fd.Body, 0)
+}
+
+// checkBoxing flags non-interface arguments passed to interface parameters
+// (the implicit conversion allocates unless the value is pointer-shaped and
+// escapes analysis fails either way on the hot path), and explicit
+// conversions to interface types.
+func (p *Pass) checkBoxing(call *ast.CallExpr, fn string, coldDepth int, flag func(ast.Node, int, string, ...any)) {
+	if tv, ok := p.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion, not a call.
+		if types.IsInterface(tv.Type.Underlying()) && len(call.Args) == 1 {
+			if at := p.TypesInfo.TypeOf(call.Args[0]); at != nil && !types.IsInterface(at.Underlying()) && at != types.Typ[types.UntypedNil] {
+				flag(call, coldDepth, "conversion to interface %s boxes its operand", types.ExprString(call.Fun))
+			}
+		}
+		return
+	}
+	sig, ok := p.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		at := p.TypesInfo.TypeOf(arg)
+		if at == nil || types.IsInterface(at.Underlying()) {
+			continue
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		flag(arg, coldDepth, "passing %s to interface parameter boxes it", at.String())
+	}
+}
+
+// selfAppendCalls collects the append calls of the pooled self-append idiom:
+// an assignment (or define) whose i-th LHS is syntactically identical to the
+// first argument of the append call on its i-th RHS.
+func (p *Pass) selfAppendCalls(body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	self := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				continue
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || !p.isBuiltin(id, "append") {
+				continue
+			}
+			if types.ExprString(as.Lhs[i]) == types.ExprString(call.Args[0]) {
+				self[call] = true
+			}
+		}
+		return true
+	})
+	return self
+}

@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// LegacyPair enforces the repository's identity-twin discipline: every fast
+// path keeps its original implementation behind a Config field named
+// Legacy* (LegacyScanIssue, LegacyWalk, LegacyFrontEnd, LegacyEventLedger,
+// ...), and identity tests drive both paths to byte-identical results. The
+// twin is only worth anything while a test actually flips the flag — so
+// every struct field named Legacy* must be referenced by at least one
+// _test.go file of its package. A fast path whose reference twin loses its
+// last test mention fails the lint gate instead of silently rotting.
+//
+// The check runs on test units (`go vet` analyzes a package together with
+// its in-package test files); on a unit without test files it stays silent,
+// so the gate lives in the `go vet ./...`-style whole-tree run.
+var LegacyPair = &Analyzer{
+	Name: "legacypair",
+	Doc: "every Legacy* struct field must be referenced by an identity test " +
+		"in its package's _test.go files",
+	Run: runLegacyPair,
+}
+
+func runLegacyPair(pass *Pass) error {
+	// Collect identifier mentions from the unit's test files first; without
+	// test files in the unit there is nothing to check against.
+	testIdents := make(map[string]bool)
+	hasTests := false
+	for _, f := range pass.Files {
+		if !pass.IsTestFile(f) {
+			continue
+		}
+		hasTests = true
+		ast.Inspect(f, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				testIdents[id.Name] = true
+			}
+			return true
+		})
+	}
+	if !hasTests {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					if !strings.HasPrefix(name.Name, "Legacy") {
+						continue
+					}
+					if !testIdents[name.Name] {
+						pass.Reportf(name.Pos(),
+							"%s has no reference in this package's _test.go files: a fast path must keep an identity test driving its Legacy* twin", name.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

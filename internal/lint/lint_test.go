@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func fixture(parts ...string) string {
+	return filepath.Join(append([]string{"testdata"}, parts...)...)
+}
+
+func TestBarePanic(t *testing.T) {
+	runFixture(t, BarePanic, fixture("barepanic", "inscope"), "selthrottle/internal/pipe")
+}
+
+func TestBarePanicOutOfScope(t *testing.T) {
+	runFixture(t, BarePanic, fixture("barepanic", "outofscope"), "selthrottle/internal/power")
+}
+
+func TestFSSeam(t *testing.T) {
+	runFixture(t, FSSeam, fixture("fsseam", "inscope"), "selthrottle/internal/store")
+}
+
+func TestFSSeamOutOfScope(t *testing.T) {
+	runFixture(t, FSSeam, fixture("fsseam", "outofscope"), "selthrottle/internal/pipe")
+}
+
+func TestDeterminism(t *testing.T) {
+	runFixture(t, Determinism, fixture("determinism", "inscope"), "selthrottle/internal/sim")
+}
+
+func TestDeterminismGridCarveOut(t *testing.T) {
+	runFixture(t, Determinism, fixture("determinism", "grid"), "selthrottle/internal/grid")
+}
+
+func TestDeterminismOutOfScope(t *testing.T) {
+	runFixture(t, Determinism, fixture("determinism", "outofscope"), "selthrottle/internal/store")
+}
+
+func TestHotAlloc(t *testing.T) {
+	runFixture(t, HotAlloc, fixture("hotalloc"), "selthrottle/internal/lint/testdata/hotalloc")
+}
+
+func TestLegacyPair(t *testing.T) {
+	runFixture(t, LegacyPair, fixture("legacypair", "pair"), "selthrottle/internal/lint/testdata/pair")
+}
+
+func TestLegacyPairNoTests(t *testing.T) {
+	runFixture(t, LegacyPair, fixture("legacypair", "notests"), "selthrottle/internal/lint/testdata/notests")
+}

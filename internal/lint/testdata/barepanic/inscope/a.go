@@ -1,0 +1,33 @@
+package pipe
+
+import "fmt"
+
+func bad(n int) {
+	if n < 0 {
+		panic("negative count") // want "bare panic"
+	}
+}
+
+func annotatedSameLine(n int) {
+	if n < 0 {
+		panic("negative count") // invariant: callers validate n
+	}
+}
+
+func annotatedLineAbove(n int) {
+	if n < 0 {
+		// fail-fast: legacy contract re-raises the typed error
+		panic(fmt.Sprintf("negative count %d", n))
+	}
+}
+
+// annotatedByDoc keeps the historical fail-fast contract.
+// fail-fast: deliberate re-raise for callers without a supervisor.
+func annotatedByDoc() {
+	panic("declared fail-fast")
+}
+
+func shadowed() {
+	panic := func(string) {} // a local panic is not the builtin
+	panic("not the builtin")
+}

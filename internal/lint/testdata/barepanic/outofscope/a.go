@@ -1,0 +1,7 @@
+package power
+
+// The power package is outside barepanic's scope: no diagnostics here.
+
+func out() {
+	panic("outside the annotated-panic scope")
+}

@@ -1,0 +1,17 @@
+package grid
+
+import "time"
+
+// monotonicClock mirrors the production lease-clock carve-out: grid may
+// read the wall clock for reader-local lease expiry, but only under an
+// explicit //st:wallclock justification.
+//
+//st:wallclock — reader-local lease expiry; never reaches output
+func monotonicClock() func() time.Duration {
+	start := time.Now()
+	return func() time.Duration { return time.Since(start) }
+}
+
+func unjustified() time.Time {
+	return time.Now() // want "wall-clock read time.Now"
+}

@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func badClock() int64 {
+	t := time.Now() // want "wall-clock read time.Now"
+	return t.UnixNano()
+}
+
+func badElapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "wall-clock read time.Since"
+}
+
+func badRand() int {
+	return rand.Intn(10) // want "global math/rand generator"
+}
+
+func badRange(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "map iteration order is nondeterministic"
+		total += v
+	}
+	return total
+}
+
+func allowedLineAnnotation() time.Time {
+	return time.Now() //st:wallclock — progress logging only, never in results
+}
+
+// allowedDocAnnotation reads the wall clock for operator-facing logs.
+//
+//st:wallclock — log timestamps never reach simulator output
+func allowedDocAnnotation() time.Time {
+	return time.Now()
+}
+
+func allowedSeededRand() int {
+	r := rand.New(rand.NewSource(7)) // explicit seed: deterministic
+	return r.Intn(10)
+}
+
+func allowedUnordered(m map[string]int) int {
+	total := 0
+	//st:unordered — commutative sum, order cannot affect the result
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func allowedSortedRange(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { //st:unordered — collecting keys to sort below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func allowedSliceRange(xs []int) int {
+	total := 0
+	for _, v := range xs { // slices iterate in order: fine
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,10 @@
+package store
+
+import "time"
+
+// The store package records real-world timestamps (mtimes, lease grants);
+// determinism does not police it.
+
+func stamp() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,41 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+func badRead(path string) ([]byte, error) {
+	return os.ReadFile(path) // want "direct os.ReadFile bypasses the store.FS seam"
+}
+
+func badOpen(path string) error {
+	f, err := os.Open(path) // want "direct os.Open bypasses the store.FS seam"
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func processProbe(pid int) bool {
+	p, err := os.FindProcess(pid) // process control, not file I/O: allowed
+	if err != nil {
+		return false
+	}
+	err = p.Signal(syscall.Signal(0)) // syscall type conversion: allowed
+	return err != nil && !errors.Is(err, syscall.EPERM)
+}
+
+func enospc(err error) bool {
+	return errors.Is(err, syscall.ENOSPC) // syscall constant: allowed
+}
+
+func badKill(pid int) error {
+	return syscall.Kill(pid, syscall.SIGKILL) // want "direct syscall.Kill bypasses the store.FS seam"
+}
+
+func annotated(path string) error {
+	//st:rawfs — incident tooling that must work when the seam itself is broken
+	return os.Remove(path)
+}

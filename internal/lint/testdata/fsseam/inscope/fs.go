@@ -1,0 +1,10 @@
+package store
+
+import "os"
+
+// fs.go is the seam's production implementation: raw file operations are
+// this file's whole job, so the analyzer exempts it.
+
+func rawWrite(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

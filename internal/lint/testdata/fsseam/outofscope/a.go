@@ -1,0 +1,9 @@
+package pipe
+
+import "os"
+
+// The pipe package does no store I/O; fsseam does not apply here.
+
+func read(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

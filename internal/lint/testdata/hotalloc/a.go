@@ -1,0 +1,56 @@
+package hot
+
+import "fmt"
+
+type event struct {
+	cycle int
+	tag   string
+}
+
+type sink interface {
+	Emit(v any)
+}
+
+// step is the fixture's stand-in for Pipeline.Step: every allocation rule
+// fires at least once inside it.
+//
+//st:hotpath
+func step(s sink, buf []event, spill []event, n int) []event {
+	scratch := make([]event, 0, n) // want "make allocates"
+	_ = scratch
+	ptr := new(event) // want "new allocates"
+	_ = ptr
+	lit := []int{1, 2, 3} // want "slice literal allocates"
+	_ = lit
+	idx := map[string]int{"a": 1} // want "map literal allocates"
+	_ = idx
+	ev := &event{cycle: n} // want "address-taken composite literal"
+	_ = ev
+	fn := func() int { return n } // want "closure allocates"
+	_ = fn
+	spill = append(buf, event{}) // want "append to a destination other than its own first argument"
+	_ = spill
+	s.Emit(n)     // want "passing int to interface parameter boxes it"
+	box := any(n) // want "conversion to interface any boxes its operand"
+	_ = box
+	return buf
+}
+
+// push shows the allowed pooled idiom plus the explicit escape hatch and
+// the panic cold-path exemption.
+//
+//st:hotpath
+func push(buf []event, ev event, n int) []event {
+	buf = append(buf, ev) // self-append: the pooled idiom, not flagged
+	if n < 0 {
+		panic(fmt.Sprintf("negative cycle %d", n)) // terminal path: boxing exempt
+	}
+	buf = append(buf, make([]event, 0, 1)...) //st:alloc-ok — fixture escape hatch
+	return buf
+}
+
+func cold(n int) []int {
+	// No //st:hotpath directive: allocate freely.
+	out := make([]int, n)
+	return append(out, n)
+}

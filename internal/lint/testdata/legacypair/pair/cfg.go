@@ -1,0 +1,8 @@
+package pair
+
+// Config carries two Legacy* twins; only LegacyWalk has an identity test.
+type Config struct {
+	Width        int
+	LegacyWalk   bool
+	LegacyOrphan bool // want "LegacyOrphan has no reference in this package's _test.go files"
+}

@@ -1,0 +1,11 @@
+package pair
+
+import "testing"
+
+func TestWalkIdentity(t *testing.T) {
+	fast := Config{Width: 4}
+	slow := Config{Width: 4, LegacyWalk: true}
+	if fast.Width != slow.Width {
+		t.Fatal("identity mismatch")
+	}
+}

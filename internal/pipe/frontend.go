@@ -51,6 +51,8 @@ func (p *Pipeline) fetchSegLen() int { return p.frontQ.Len() - p.decoded }
 // every control transfer), so each control instruction is predicted and
 // steered at exactly the point the per-instruction loop would have reached
 // it.
+//
+//st:hotpath
 func (p *Pipeline) fetchFused() {
 	if p.faultArmed {
 		p.stageFault(StageFetch)
@@ -58,12 +60,14 @@ func (p *Pipeline) fetchFused() {
 	dbg := p.dbgFetchArmed && p.cycle >= p.dbgFetchLo && p.cycle < p.dbgFetchHi
 	if p.fetchHeld || p.cycle < p.fetchResumeAt {
 		if dbg {
+			//st:alloc-ok — debug-only path, armed by SetDebugFetchWindow, off in production
 			fmt.Printf("  f@%d held=%v resumeAt=%d\n", p.cycle, p.fetchHeld, p.fetchResumeAt)
 		}
 		p.Stats.FetchIdleHeld++
 		return
 	}
 	if dbg {
+		//st:alloc-ok — debug-only path, armed by SetDebugFetchWindow, off in production
 		defer func() {
 			fmt.Printf("  f@%d fetchQ=%d decodeQ=%d window=%d\n", p.cycle, p.fetchSegLen(), p.decoded, p.window.Len())
 		}()
@@ -164,6 +168,8 @@ func (p *Pipeline) fetchFused() {
 // boundary by advancing the decoded cursor; per-instruction gates (throttle
 // rates, the oracle-decode limit study) and power accounting match the
 // legacy stage exactly.
+//
+//st:hotpath
 func (p *Pipeline) decodeFused() {
 	if p.faultArmed {
 		p.stageFault(StageDecode)
@@ -259,6 +265,8 @@ func (p *Pipeline) decodeFused() {
 // dispatchFused inserts decoded instructions into the window from the delay
 // line's head. Decode is strictly in order, so the decoded prefix always
 // starts at the ring head.
+//
+//st:hotpath
 func (p *Pipeline) dispatchFused() {
 	if p.faultArmed {
 		p.stageFault(StageDispatch)

@@ -107,6 +107,8 @@ func (p *Pipeline) epochSlot(i int32) int32 {
 // sequence number. The slot's ledger is already zero: slots are cleared as
 // they are folded or retired, so the per-branch open costs two words, not an
 // 11-counter clear.
+//
+//st:hotpath
 func (p *Pipeline) openEpoch(openSeq int64) {
 	if int(p.epochCount) == len(p.epochBuf) {
 		panic("pipe: epoch ring overflow") // invariant: ring sized to InFlightBranches
@@ -140,6 +142,8 @@ func (p *Pipeline) refreshNextRetire() {
 // enough to squash the epoch remains. The ledger's events already live in
 // the activity tally (the useful pool's feed), so retirement only clears the
 // slot for reuse.
+//
+//st:hotpath
 func (p *Pipeline) retireEpochs(s int64) {
 	for p.epochCount > 1 && p.epochBuf[p.epochSlot(1)].openSeq <= s {
 		p.epochBuf[p.epochHead].led = [power.NumUnits]uint32{}
@@ -157,6 +161,8 @@ func (p *Pipeline) retireEpochs(s int64) {
 // epoch under the same key. Under Config.LegacyEventLedger the ledgers are
 // shadow bookkeeping and squash feeds the wasted pool per instruction
 // instead; the folded totals are identical either way.
+//
+//st:hotpath
 func (p *Pipeline) foldEpochs(brSeq int64) {
 	for p.epochCount > 0 {
 		top := &p.epochBuf[p.epochSlot(p.epochCount-1)]
@@ -196,6 +202,8 @@ func (p *Pipeline) EpochStats() (open, capacity, highWater int) {
 // needs no saturation guard: every stage notes a unit at most a fixed
 // handful of times (the maximum is three — regfile and window), far below
 // the uint8 range.
+//
+//st:hotpath
 func (p *Pipeline) note(in *inst, u power.Unit) {
 	p.tally[u]++
 	p.epochBuf[in.epoch].led[u]++

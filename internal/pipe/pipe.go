@@ -612,6 +612,8 @@ func (p *Pipeline) Reset(w *prog.Walker, pred bpred.DirPredictor, est conf.Estim
 // Next, the epoch binding and prediction state by fetch (the only readers),
 // enter/timing fields and the fuKind/execLat cache by their stages — so a
 // full struct zero (several cache lines per instruction) buys nothing.
+//
+//st:hotpath
 func (p *Pipeline) allocInst() *inst {
 	if n := len(p.free) - 1; n >= 0 {
 		in := p.free[n]
@@ -628,7 +630,7 @@ func (p *Pipeline) allocInst() *inst {
 	}
 	p.poolAllocs++
 	if len(p.slab) == 0 {
-		p.slab = make([]inst, 64)
+		p.slab = make([]inst, 64) //st:alloc-ok — amortized pool refill; PoolStats pins steady state
 	}
 	in := &p.slab[0]
 	p.slab = p.slab[1:]
@@ -636,9 +638,9 @@ func (p *Pipeline) allocInst() *inst {
 	// never grows it; rare crowded producers grow once and keep the larger
 	// backing array through recycling. The legacy event table likewise
 	// persists through recycling (and is never allocated on the fast path).
-	in.deps = make([]instRef, 0, 8)
+	in.deps = make([]instRef, 0, 8) //st:alloc-ok — once per pooled instruction, recycled forever
 	if p.legacyLedger {
-		in.lev = new(instEv)
+		in.lev = new(instEv) //st:alloc-ok — legacy-ledger mode only, never on the fast path
 	}
 	return in
 }
@@ -646,6 +648,8 @@ func (p *Pipeline) allocInst() *inst {
 // freeInst returns an instruction to the pool. The instruction's fields are
 // deliberately left intact until reallocation: younger instructions may
 // still hold seq-guarded source pointers to it (see inst.ready).
+//
+//st:hotpath
 func (p *Pipeline) freeInst(in *inst) {
 	p.free = append(p.free, in)
 }
@@ -761,6 +765,8 @@ func (p *Pipeline) FlushTally() {
 
 // Step advances the machine one cycle. Stages run back to front so that
 // same-cycle structural hazards resolve in program order.
+//
+//st:hotpath
 func (p *Pipeline) Step() {
 	if p.faultArmed {
 		p.stageFault(StageStep)
@@ -784,6 +790,7 @@ func (p *Pipeline) Step() {
 
 // ---------------------------------------------------------------- fetch --
 
+//st:hotpath
 func (p *Pipeline) fetch() {
 	if p.faultArmed {
 		p.stageFault(StageFetch)
@@ -791,12 +798,14 @@ func (p *Pipeline) fetch() {
 	dbg := p.dbgFetchArmed && p.cycle >= p.dbgFetchLo && p.cycle < p.dbgFetchHi
 	if p.fetchHeld || p.cycle < p.fetchResumeAt {
 		if dbg {
+			//st:alloc-ok — debug-only path, armed by SetDebugFetchWindow, off in production
 			fmt.Printf("  f@%d held=%v resumeAt=%d\n", p.cycle, p.fetchHeld, p.fetchResumeAt)
 		}
 		p.Stats.FetchIdleHeld++
 		return
 	}
 	if dbg {
+		//st:alloc-ok — debug-only path, armed by SetDebugFetchWindow, off in production
 		defer func() {
 			fmt.Printf("  f@%d fetchQ=%d decodeQ=%d window=%d\n", p.cycle, p.fetchQ.Len(), p.decodeQ.Len(), p.window.Len())
 		}()
@@ -877,6 +886,8 @@ func (p *Pipeline) fetch() {
 
 // fetchCondBranch predicts and steers a conditional branch; it returns true
 // when the fetch group must end (oracle-fetch hold or BTB-miss redirect).
+//
+//st:hotpath
 func (p *Pipeline) fetchCondBranch(in *inst, taken *int) bool {
 	// The branch closes the current speculation epoch (it is that epoch's
 	// youngest member — in.epoch is already bound) and opens the next one;
@@ -927,6 +938,7 @@ func (p *Pipeline) btbTouch(pc, target uint64) {
 
 // --------------------------------------------------------------- decode --
 
+//st:hotpath
 func (p *Pipeline) decode() {
 	if p.faultArmed {
 		p.stageFault(StageDecode)
@@ -966,6 +978,8 @@ func (p *Pipeline) decode() {
 // register-file operand reads, and the RUU entry write at the decode stage
 // (the paper's footnotes 2-3); instructions squashed after decoding carry
 // this wasted energy.
+//
+//st:hotpath
 func (p *Pipeline) decodeOne(in *inst) {
 	in.enterWindow = p.cycle + int64(p.cfg.DecodeStages)
 	op := in.d.St.Op
@@ -992,6 +1006,7 @@ func (p *Pipeline) decodeOne(in *inst) {
 
 // ------------------------------------------------------------- dispatch --
 
+//st:hotpath
 func (p *Pipeline) dispatch() {
 	if p.faultArmed {
 		p.stageFault(StageDispatch)
@@ -1014,6 +1029,8 @@ func (p *Pipeline) dispatch() {
 // ends: rename, LSQ/window insertion, barrier capture, and the event-issue
 // bookkeeping. The caller has already removed in from its front-end structure
 // and verified window/LSQ capacity.
+//
+//st:hotpath
 func (p *Pipeline) dispatchOne(in *inst) {
 	// Rename: bind sources to in-flight producers. The associated
 	// power events were counted at the decode stage. Each bound
@@ -1082,6 +1099,7 @@ func (p *Pipeline) dispatchOne(in *inst) {
 
 // ---------------------------------------------------------------- issue --
 
+//st:hotpath
 func (p *Pipeline) issue() {
 	if p.faultArmed {
 		p.stageFault(StageIssue)
@@ -1144,6 +1162,8 @@ func (p *Pipeline) startExecution(in *inst) {
 // structural reasons (exhausted functional unit, blocked no-select barrier,
 // unresolved older same-address store, oracle-select suppression) keep their
 // ready bit for the next cycle.
+//
+//st:hotpath
 func (p *Pipeline) issueEvent() {
 	var fu [isa.NumFUKinds]int
 	for k := range fu {
@@ -1246,6 +1266,8 @@ walk:
 // and starves the issue stage of the wrong-path work the paper's selection
 // throttling targets). The walk doubles as storeQ's lazy compaction:
 // completed and recycled stores drop out.
+//
+//st:hotpath
 func (p *Pipeline) loadBlocked(ld *inst) bool {
 	// Fast path: the store that blocked this load last time is usually
 	// still pending the next cycle (see inst.blockRef). Every clause of
@@ -1335,6 +1357,7 @@ func (p *Pipeline) issueScan() {
 
 // ------------------------------------------------------------- complete --
 
+//st:hotpath
 func (p *Pipeline) complete() {
 	if p.faultArmed {
 		p.stageFault(StageComplete)
@@ -1394,6 +1417,8 @@ func (p *Pipeline) complete() {
 // twice to one producer registered two entries and takes two decrements).
 // The list is cleared afterwards — a completed producer can never be bound
 // again.
+//
+//st:hotpath
 func (p *Pipeline) wakeDependents(in *inst) {
 	for _, e := range in.deps {
 		d := e.in
@@ -1551,6 +1576,7 @@ func (p *Pipeline) squash(in *inst) {
 
 // --------------------------------------------------------------- commit --
 
+//st:hotpath
 func (p *Pipeline) commit() {
 	if p.faultArmed {
 		p.stageFault(StageCommit)

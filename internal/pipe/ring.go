@@ -44,6 +44,8 @@ func (r *ring[T]) backSlot() int { return r.wrap(r.head + r.count) }
 
 // PushBack appends v; it panics when full (callers check Full first — a
 // violation is a back-pressure bug, not a recoverable condition).
+//
+//st:hotpath
 func (r *ring[T]) PushBack(v T) {
 	if r.Full() {
 		panic("pipe: ring overflow") // invariant: callers check Full first
@@ -56,6 +58,8 @@ func (r *ring[T]) PushBack(v T) {
 // its stale value (every ring in this package holds pool-owned instruction
 // pointers that outlive the ring, so eager zeroing buys no reclamation and
 // costs a store on the hottest ops); PushBack overwrites it on reuse.
+//
+//st:hotpath
 func (r *ring[T]) PopFront() T {
 	if r.count == 0 {
 		panic("pipe: ring underflow") // invariant: callers check Len first
@@ -68,6 +72,8 @@ func (r *ring[T]) PopFront() T {
 
 // PopBack removes and returns the youngest element (stale-slot behaviour as
 // PopFront).
+//
+//st:hotpath
 func (r *ring[T]) PopBack() T {
 	if r.count == 0 {
 		panic("pipe: ring underflow") // invariant: callers check Len first

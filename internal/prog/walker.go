@@ -347,6 +347,8 @@ func (br *Branch) outcome(ghist, brCount uint64) bool {
 // The fast path reads the program's flat blockMeta/code/memIDs tables and
 // the integer outcome thresholds; nextLegacy retains the original
 // implementation as the identity-test reference.
+//
+//st:hotpath
 func (w *Walker) Next(out *DynInst) {
 	if w.pendingSteer {
 		panic("prog: Next called with a pending Steer")
@@ -460,6 +462,8 @@ func (w *Walker) Next(out *DynInst) {
 // amortize the per-call overhead — the pending/legacy checks, the block
 // metadata loads, and the fall-through chase — over a whole straight-line
 // run, which is what makes fused fetch groups (internal/pipe) pay off.
+//
+//st:hotpath
 func (w *Walker) NextGroup(out []DynInst) int {
 	if len(out) == 0 {
 		return 0
