@@ -7,6 +7,7 @@
 //	hpca03 -exp <experiment> [-n instructions] [-warmup instructions]
 //	       [-depth stages] [-kb totalKB] [-bench name]
 //	       [-legacyfrontend] [-legacyledger]
+//	       [-store dir] [-workers n] [-fleet host1,host2]
 //	       [-cpuprofile file] [-memprofile file]
 //
 // Experiments:
@@ -71,6 +72,10 @@ func run() int {
 	leaseTTL := flag.Duration("lease-ttl", 0, "worker lease expiry horizon (default 3s)")
 	respawns := flag.Int("respawn", 2, "respawn budget per crashed/frozen worker partition")
 	workerFault := flag.String("worker-fault", "", "per-partition fault specs, e.g. '1:kill-after=2;2:freeze-beats' (test use)")
+	fleetHosts := flag.String("fleet", "", "comma-separated stserve workers to dispatch the grid to over HTTP (requires -store)")
+	pointTimeout := flag.Duration("point-timeout", 0, "fleet per-request deadline (0 = derived from point cost)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "fleet straggler threshold before hedging a request (0 = derived; negative disables)")
+	breakerOpen := flag.Duration("breaker-open", 0, "fleet circuit-breaker open interval before a readiness probe (0 = default)")
 	flag.Parse()
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -171,6 +176,20 @@ func run() int {
 		}
 		if err := runWorkers(ctx, *workers, bin, *storeDir, *exp, *id, *bench, opts, *leaseTTL, *respawns, *workerFault); err != nil {
 			fmt.Fprintf(os.Stderr, "hpca03: -workers: %v\n", err)
+			return 2
+		}
+	}
+
+	// Fleet mode: same fall-through shape as -workers, but the compute runs
+	// on remote stserve instances over HTTP — deadlines, retries, hedging,
+	// circuit breakers, and a local-compute floor when the network loses.
+	if *fleetHosts != "" {
+		if *storeDir == "" {
+			fmt.Fprintln(os.Stderr, "hpca03: -fleet requires -store")
+			return 2
+		}
+		if err := runFleet(ctx, *fleetHosts, *storeDir, *exp, *id, *bench, opts, *leaseTTL, *pointTimeout, *hedgeAfter, *breakerOpen); err != nil {
+			fmt.Fprintf(os.Stderr, "hpca03: -fleet: %v\n", err)
 			return 2
 		}
 	}

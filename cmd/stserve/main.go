@@ -9,8 +9,9 @@
 //
 //	stserve -addr :8080 -store /var/cache/selthrottle -n 2000000
 //
-// Endpoints: /healthz, /statsz, /v1/point, /v1/figure, /v1/sweep (NDJSON).
-// See README.md for the API.
+// Endpoints: /healthz (liveness), /readyz (readiness; 503 while draining),
+// /statsz, /v1/point, /v1/figure, /v1/sweep (NDJSON), /v1/compute (fleet
+// point dispatch). See README.md for the API.
 package main
 
 import (
@@ -23,6 +24,8 @@ import (
 	"syscall"
 	"time"
 
+	"selthrottle/internal/fleet"
+	"selthrottle/internal/grid"
 	"selthrottle/internal/sim"
 )
 
@@ -43,6 +46,7 @@ func run() int {
 		storeD  = flag.String("store", "", "persistent result store directory (empty = memory tier only)")
 		entries = flag.Int("cache-entries", sim.DefaultCacheEntries, "in-memory result cache entry cap (0 = unbounded)")
 		qWarn   = flag.Int("quarantine-warn", 0, "warn once when the store holds more than this many quarantined files (0 = off)")
+		ttl     = flag.Duration("lease-ttl", grid.DefaultTTL, "point-lease expiry horizon for /v1/compute (must match the fleet's)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -74,6 +78,28 @@ func run() int {
 	sup := sim.Supervisor{Timeout: *timeout, Retries: *retries}
 	s := newServer(opts, sup, *queue, *timeout, *maxN)
 
+	// /v1/compute: fleet point dispatch. With a store, each computed point
+	// is guarded by a point lease (work stealing and hedge fencing run
+	// through it); without one, the endpoint still serves points leaseless
+	// and results travel in the response body only.
+	var leases *grid.Manager
+	if *storeD != "" {
+		var err error
+		if leases, err = grid.NewManager(*storeD, nil, *ttl); err != nil {
+			fmt.Fprintf(os.Stderr, "stserve: lease manager: %v\n", err)
+			return 1
+		}
+	}
+	s.compute = &fleet.ComputeServer{
+		Sup:    sup,
+		Leases: leases,
+		Owner:  fmt.Sprintf("stserve-pid%d", os.Getpid()),
+		MaxN:   *maxN,
+		Ready:  func() bool { return !s.draining.Load() },
+		Admit:  s.acquire,
+		Logf:   func(format string, args ...any) { fmt.Fprintf(os.Stderr, "stserve: "+format+"\n", args...) },
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.routes(),
@@ -96,7 +122,8 @@ func run() int {
 		return 1
 	case <-ctx.Done():
 	}
-	stop() // second signal kills immediately via default disposition
+	stop()          // second signal kills immediately via default disposition
+	s.SetDraining() // /readyz goes 503 before the listener starts refusing
 	fmt.Fprintf(os.Stderr, "stserve: draining (up to %v)\n", *drain)
 
 	dctx := context.Background()

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"selthrottle/internal/fleet"
 	"selthrottle/internal/prog"
 	"selthrottle/internal/sim"
 )
@@ -30,6 +31,15 @@ type server struct {
 	maxN    uint64         // per-request instruction-budget ceiling
 	queue   chan struct{}  // admission semaphore; full = shed
 	start   time.Time
+
+	// draining flips at the first SIGTERM/SIGINT, before Shutdown begins:
+	// /readyz goes 503 so proxies and fleet coordinators stop routing new
+	// work here while in-flight requests finish. /healthz stays green — a
+	// draining process is alive, just leaving.
+	draining atomic.Bool
+
+	// compute, when non-nil, serves /v1/compute (fleet point dispatch).
+	compute *fleet.ComputeServer
 
 	served  atomic.Uint64 // requests that ran to a response (incl. partial grids)
 	shed    atomic.Uint64 // requests rejected 429 at admission
@@ -70,10 +80,15 @@ func newServer(opts sim.Options, sup sim.Supervisor, queueCap int, timeout time.
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
 	mux.HandleFunc("GET /v1/point", s.handlePoint)
 	mux.HandleFunc("GET /v1/figure", s.handleFigure)
 	mux.HandleFunc("GET /v1/sweep", s.handleSweep)
+	if s.compute != nil {
+		mux.Handle("GET /v1/compute", s.compute)
+		mux.Handle("POST /v1/compute", s.compute)
+	}
 	return mux
 }
 
@@ -105,11 +120,27 @@ func (s *server) requestContext(r *http.Request) (context.Context, context.Cance
 
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	// Liveness only: overload sheds at admission, so a saturated server is
-	// still a healthy server. Draining is handled by the listener shutting
-	// down, not by going unhealthy first.
+	// still a healthy server, and a draining one is still alive. Readiness
+	// is /readyz's question.
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
 }
+
+// handleReadyz is the readiness probe: 503 while draining, so proxies and
+// fleet coordinators stop routing new work to a worker that is leaving,
+// instead of discovering the drain by watching their requests fail.
+func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ready")
+}
+
+// SetDraining flips the readiness gate (idempotent, one-way).
+func (s *server) SetDraining() { s.draining.Store(true) }
 
 // statszResponse is the service's observability snapshot.
 type statszResponse struct {

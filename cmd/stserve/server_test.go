@@ -284,3 +284,29 @@ func TestPointEndToEnd(t *testing.T) {
 		t.Fatalf("end-to-end result: %+v", resp.Result)
 	}
 }
+
+// TestReadyzDrainSplit pins the liveness/readiness split: before draining
+// both probes are 200; after SetDraining, /readyz refuses with 503 +
+// Retry-After (stop routing here) while /healthz stays 200 (still alive,
+// just leaving) — the distinction fleet breaker probes and process
+// supervisors each depend on.
+func TestReadyzDrainSplit(t *testing.T) {
+	s := testServer(1, 0)
+	h := s.routes()
+
+	if rec := get(t, h, "/readyz"); rec.Code != 200 {
+		t.Fatalf("fresh readyz: %d, want 200", rec.Code)
+	}
+	s.SetDraining()
+	s.SetDraining() // idempotent
+	rec := get(t, h, "/readyz")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining readyz: %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("draining readyz carries no Retry-After")
+	}
+	if rec := get(t, h, "/healthz"); rec.Code != 200 {
+		t.Fatalf("draining healthz: %d, want 200 (alive, just leaving)", rec.Code)
+	}
+}

@@ -12,7 +12,7 @@
 //	         [-n instructions] [-warmup instructions] [-depth stages]
 //	         [-kb totalKB] [-bench list] [-legacyfrontend] [-legacyledger]
 //	         [-ttl duration] [-timeout duration] [-retries k]
-//	         [-fault spec] [-v]
+//	         [-fault spec] [-steal] [-v]
 //
 // Exit codes:
 //
@@ -61,6 +61,7 @@ func run() int {
 	timeout := flag.Duration("timeout", 0, "per-point deadline (0 = none)")
 	retries := flag.Int("retries", 0, "per-point retry budget for transient failures")
 	fault := flag.String("fault", "", "process fault spec, e.g. kill-after=3,freeze-beats,lease-enospc (test use)")
+	steal := flag.Bool("steal", false, "after finishing this partition, steal unleased/expired points from the rest of the grid")
 	verbose := flag.Bool("v", false, "log per-point progress and lease events to stderr")
 	flag.Parse()
 
@@ -148,6 +149,7 @@ func run() int {
 		Owner:       fmt.Sprintf("stworker-pid%d", os.Getpid()),
 		Leases:      leases,
 		Supervise:   opts.Supervise,
+		Steal:       *steal,
 		FreezeBeats: faults.FreezeBeats,
 		Logf:        logf,
 	}
@@ -163,7 +165,7 @@ func run() int {
 	}
 
 	rep, err := grid.RunWorker(ctx, wopts)
-	logf("p%d/%d: owned %d, computed %d, failed %d", *part, *of, rep.Owned, rep.Computed, rep.Failed)
+	logf("p%d/%d: owned %d, computed %d, failed %d, stolen %d", *part, *of, rep.Owned, rep.Computed, rep.Failed, rep.Stolen)
 	switch {
 	case errors.Is(err, grid.ErrHeld):
 		fmt.Fprintf(os.Stderr, "stworker: %v\n", err)

@@ -1,0 +1,250 @@
+package faultinject
+
+// ChaosProxy is an in-process TCP proxy that forwards connections to one
+// backend and injects wire-level faults per accepted connection. Unlike the
+// NetFaults RoundTripper, which fabricates failures above the client's
+// socket layer, the proxy breaks real connections — the HTTP client sees
+// genuine RSTs, genuine half-written responses, genuine silence — so the
+// whole stack (connection pool, body reader, deadline plumbing) is
+// exercised, not a mock of it.
+//
+// Fault selection reuses the NetFault vocabulary: faults are tried in
+// order against an accepted-connection counter (Match is ignored at this
+// plane; one proxy fronts one backend), with the same After/Once
+// semantics and the same mutex-guarded counters. SetFaults swaps the
+// schedule mid-run, which is how a test blackholes a previously healthy
+// worker halfway through a sweep.
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// ChaosProxy forwards 127.0.0.1 TCP connections to Backend, injecting at
+// most one fault per accepted connection.
+type ChaosProxy struct {
+	backend string
+	ln      net.Listener
+
+	mu     sync.Mutex
+	faults []NetFault
+	seen   []int
+	fired  []bool
+
+	closed  chan struct{}
+	wg      sync.WaitGroup
+	connsMu sync.Mutex
+	conns   map[net.Conn]struct{}
+}
+
+// NewChaosProxy listens on 127.0.0.1:0 and forwards to backend
+// ("host:port"). Callers must Close it.
+func NewChaosProxy(backend string, faults ...NetFault) (*ChaosProxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &ChaosProxy{
+		backend: backend,
+		ln:      ln,
+		faults:  faults,
+		seen:    make([]int, len(faults)),
+		fired:   make([]bool, len(faults)),
+		closed:  make(chan struct{}),
+		conns:   make(map[net.Conn]struct{}),
+	}
+	p.wg.Add(1)
+	go p.serve()
+	return p, nil
+}
+
+// Addr is the proxy's listen address ("127.0.0.1:port").
+func (p *ChaosProxy) Addr() string { return p.ln.Addr().String() }
+
+// SetFaults replaces the fault schedule and resets its counters. Existing
+// connections keep the fault they already drew; new connections draw from
+// the new schedule.
+func (p *ChaosProxy) SetFaults(faults ...NetFault) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.faults = faults
+	p.seen = make([]int, len(faults))
+	p.fired = make([]bool, len(faults))
+}
+
+// Close stops accepting, tears down every live connection, and waits for
+// the forwarding goroutines to drain.
+func (p *ChaosProxy) Close() error {
+	select {
+	case <-p.closed:
+		return nil
+	default:
+	}
+	close(p.closed)
+	err := p.ln.Close()
+	p.connsMu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.connsMu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+// draw picks the fault (if any) for the next accepted connection.
+func (p *ChaosProxy) draw() *NetFault {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.faults {
+		f := &p.faults[i]
+		if p.fired[i] {
+			continue
+		}
+		c := p.seen[i]
+		p.seen[i]++
+		if c < f.After {
+			continue
+		}
+		if f.Once {
+			p.fired[i] = true
+		}
+		cp := *f
+		return &cp
+	}
+	return nil
+}
+
+func (p *ChaosProxy) serve() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.track(conn)
+		p.wg.Add(1)
+		go p.handle(conn)
+	}
+}
+
+func (p *ChaosProxy) track(c net.Conn) {
+	p.connsMu.Lock()
+	p.conns[c] = struct{}{}
+	p.connsMu.Unlock()
+}
+
+func (p *ChaosProxy) untrack(c net.Conn) {
+	p.connsMu.Lock()
+	delete(p.conns, c)
+	p.connsMu.Unlock()
+}
+
+// handle forwards one client connection, applying at most one drawn fault.
+func (p *ChaosProxy) handle(client net.Conn) {
+	defer p.wg.Done()
+	defer p.untrack(client)
+	defer client.Close()
+
+	f := p.draw()
+	if f != nil {
+		switch f.Kind {
+		case NetConnReset:
+			// SO_LINGER 0 turns Close into RST instead of FIN: the client
+			// observes ECONNRESET, not a clean EOF.
+			if tc, ok := client.(*net.TCPConn); ok {
+				tc.SetLinger(0)
+			}
+			return
+		case NetBlackhole:
+			// Swallow the request and never answer; hold the connection
+			// open until the proxy closes or the client gives up.
+			go io.Copy(io.Discard, client)
+			<-p.closed
+			return
+		case NetDelay:
+			t := time.NewTimer(f.Delay)
+			select {
+			case <-p.closed:
+				t.Stop()
+				return
+			case <-t.C:
+			}
+			f = nil // after the delay, forward cleanly
+		}
+	}
+
+	backend, err := net.Dial("tcp", p.backend)
+	if err != nil {
+		return
+	}
+	p.track(backend)
+	defer p.untrack(backend)
+	defer backend.Close()
+
+	// Upstream: client -> backend, always unmodified.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		io.Copy(backend, client)
+		// Half-close so the backend sees EOF on its read side while its
+		// response can still flow back.
+		if tc, ok := backend.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+	}()
+
+	// Downstream: backend -> client, where response faults apply.
+	switch {
+	case f != nil && f.Kind == NetTruncate:
+		io.CopyN(client, backend, int64(f.TruncAt))
+		if tc, ok := client.(*net.TCPConn); ok {
+			tc.SetLinger(0) // cut, don't finish
+		}
+		// Close both sides now: the client must observe the cut immediately
+		// (a stalled read is the blackhole fault, not this one), and the
+		// upstream copy must unblock so handle can return.
+		client.Close()
+		backend.Close()
+	case f != nil && f.Kind == NetTrickle:
+		p.trickle(client, backend, f)
+	default:
+		io.Copy(client, backend)
+	}
+	<-done
+}
+
+// trickle forwards the response rate bytes per interval — slow-loris.
+func (p *ChaosProxy) trickle(client, backend net.Conn, f *NetFault) {
+	rate := f.Rate
+	if rate <= 0 {
+		rate = 1
+	}
+	buf := make([]byte, rate)
+	t := time.NewTicker(maxDuration(f.Delay, time.Millisecond))
+	defer t.Stop()
+	for {
+		n, err := backend.Read(buf)
+		if n > 0 {
+			if _, werr := client.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+		select {
+		case <-p.closed:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,168 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// proxyFixture stands a real HTTP backend behind a ChaosProxy. Keep-alives
+// are disabled on the client so "connection" and "request" coincide, making
+// the proxy's accepted-connection counter line up with request order.
+func proxyFixture(t *testing.T, body string, faults ...NetFault) (*ChaosProxy, *http.Client) {
+	t.Helper()
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(backend.Close)
+	u, _ := url.Parse(backend.URL)
+	p, err := NewChaosProxy(u.Host, faults...)
+	if err != nil {
+		t.Fatalf("NewChaosProxy: %v", err)
+	}
+	t.Cleanup(func() { p.Close() })
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	return p, client
+}
+
+func TestChaosProxyForwardsClean(t *testing.T) {
+	p, client := proxyFixture(t, "hello through the proxy")
+	for i := 0; i < 3; i++ {
+		resp, err := client.Get("http://" + p.Addr() + "/")
+		if err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+		got, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || string(got) != "hello through the proxy" {
+			t.Fatalf("get %d: body %q, err %v", i, got, err)
+		}
+	}
+}
+
+// TestChaosProxyConnReset: the faulted connection dies with a genuine RST
+// (ECONNRESET or an immediate EOF, depending on how far the client got);
+// the next connection is healthy again.
+func TestChaosProxyConnReset(t *testing.T) {
+	p, client := proxyFixture(t, "ok", NetFault{Kind: NetConnReset, Once: true})
+	_, err := client.Get("http://" + p.Addr() + "/")
+	if err == nil {
+		t.Fatal("reset connection produced a clean response")
+	}
+	if !errors.Is(err, syscall.ECONNRESET) && !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("reset surfaced as %v, want RST/EOF class", err)
+	}
+	resp, err := client.Get("http://" + p.Addr() + "/")
+	if err != nil {
+		t.Fatalf("post-fault connection: %v", err)
+	}
+	resp.Body.Close()
+}
+
+// TestChaosProxyTruncate: the response is cut mid-body at the wire level, so
+// the client's body read fails instead of returning short data silently.
+func TestChaosProxyTruncate(t *testing.T) {
+	body := strings.Repeat("x", 4096)
+	// Cut inside the response body: past the status line + headers (~120
+	// bytes here) but far before the 4096-byte payload ends.
+	p, client := proxyFixture(t, body, NetFault{Kind: NetTruncate, TruncAt: 200, Once: true})
+	resp, err := client.Get("http://" + p.Addr() + "/")
+	if err == nil {
+		got, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr == nil && len(got) == len(body) {
+			t.Fatal("truncated response arrived whole")
+		}
+	}
+	// Healthy again on the next connection.
+	resp, err = client.Get("http://" + p.Addr() + "/")
+	if err != nil {
+		t.Fatalf("post-fault connection: %v", err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || len(got) != len(body) {
+		t.Fatalf("post-fault body: %d bytes, err %v", len(got), err)
+	}
+}
+
+// TestChaosProxyBlackhole: the connection accepts and then never answers;
+// only the client's own deadline gets it back.
+func TestChaosProxyBlackhole(t *testing.T) {
+	p, client := proxyFixture(t, "ok", NetFault{Kind: NetBlackhole, Once: true})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", "http://"+p.Addr()+"/", nil)
+	if _, err := client.Do(req); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blackholed request: err = %v, want DeadlineExceeded", err)
+	}
+	resp, err := client.Get("http://" + p.Addr() + "/")
+	if err != nil {
+		t.Fatalf("post-fault connection: %v", err)
+	}
+	resp.Body.Close()
+}
+
+// TestChaosProxyDelayThenClean: a delayed connection still completes.
+func TestChaosProxyDelayThenClean(t *testing.T) {
+	p, client := proxyFixture(t, "slow but whole", NetFault{Kind: NetDelay, Delay: 10 * time.Millisecond, Once: true})
+	resp, err := client.Get("http://" + p.Addr() + "/")
+	if err != nil {
+		t.Fatalf("delayed request: %v", err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || string(got) != "slow but whole" {
+		t.Fatalf("delayed body: %q, %v", got, err)
+	}
+}
+
+// TestChaosProxyTrickle: the slow-loris shape — bytes arrive, slowly, and
+// the response eventually completes. 64 bytes per 1ms tick drains a small
+// response quickly while still exercising the chunked path.
+func TestChaosProxyTrickle(t *testing.T) {
+	body := strings.Repeat("y", 512)
+	p, client := proxyFixture(t, body, NetFault{Kind: NetTrickle, Delay: time.Millisecond, Rate: 64, Once: true})
+	resp, err := client.Get("http://" + p.Addr() + "/")
+	if err != nil {
+		t.Fatalf("trickled request: %v", err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || len(got) != len(body) {
+		t.Fatalf("trickled body: %d bytes, err %v", len(got), err)
+	}
+}
+
+// TestChaosProxySetFaults: swapping the schedule mid-run affects new
+// connections — how a test blackholes a previously healthy worker.
+func TestChaosProxySetFaults(t *testing.T) {
+	p, client := proxyFixture(t, "ok")
+	resp, err := client.Get("http://" + p.Addr() + "/")
+	if err != nil {
+		t.Fatalf("healthy phase: %v", err)
+	}
+	resp.Body.Close()
+
+	p.SetFaults(NetFault{Kind: NetBlackhole})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", "http://"+p.Addr()+"/", nil)
+	if _, err := client.Do(req); err == nil {
+		t.Fatal("blackholed phase answered")
+	}
+
+	p.SetFaults()
+	resp, err = client.Get("http://" + p.Addr() + "/")
+	if err != nil {
+		t.Fatalf("recovered phase: %v", err)
+	}
+	resp.Body.Close()
+}

@@ -1,0 +1,290 @@
+package faultinject
+
+// Network-fault injection: the third fault plane, beside the disk plane
+// (DiskFS over the store.FS seam) and the process plane (ProcFaults). Two
+// injection points cover the two layers a networked fleet can fail at:
+//
+//   - NetFaults, an http.RoundTripper middlebox, injects failures into the
+//     coordinator's client stack above the socket — connection resets,
+//     response-body truncation, fixed delays, blackholes that hold a request
+//     until its context expires. It shares the Match/After/Once vocabulary
+//     of the other planes, so "the 3rd request to worker B is reset" is one
+//     declarative rule, deterministic given the request order the test
+//     drives.
+//
+//   - ChaosProxy (chaosproxy.go), an in-process TCP proxy, injects the same
+//     failure shapes below HTTP — RST on the wire, truncation mid-response,
+//     slow-loris trickle — so the real net/http client, with its connection
+//     pooling and retry-visible errno surface, is what gets exercised.
+//
+// Determinism discipline matches the other planes: a fault fires on the
+// After'th matching event, optionally Once; randomized suites derive their
+// schedules from ScatterNet, a pure function of its seed, pinned by test.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"selthrottle/internal/xrand"
+)
+
+// NetFaultKind is the shape of one injected network fault.
+type NetFaultKind uint8
+
+// Network fault kinds.
+const (
+	// NetConnReset fails the request (or connection) as if the peer sent
+	// RST: the error satisfies errors.Is(err, syscall.ECONNRESET).
+	NetConnReset NetFaultKind = iota + 1
+	// NetTruncate delivers only the first TruncAt bytes of the response
+	// body, then fails the read with io.ErrUnexpectedEOF — a connection cut
+	// mid-response.
+	NetTruncate
+	// NetDelay holds the request for Delay before forwarding it; the
+	// request itself succeeds. Models congestion and slow peers; the
+	// injected latency is what forces hedged requests.
+	NetDelay
+	// NetBlackhole never forwards and never answers: the request blocks
+	// until its context expires (RoundTripper plane) or the connection is
+	// torn down (proxy plane). Models a network partition — no RST, no FIN,
+	// just silence; only the caller's deadline gets it back.
+	NetBlackhole
+	// NetTrickle (proxy plane only) forwards the response at Rate bytes per
+	// Delay interval — the slow-loris shape that defeats naive "the
+	// connection is alive" liveness and forces byte-progress deadlines.
+	NetTrickle
+)
+
+// String names the kind for fault messages.
+func (k NetFaultKind) String() string {
+	switch k {
+	case NetConnReset:
+		return "conn-reset"
+	case NetTruncate:
+		return "truncate"
+	case NetDelay:
+		return "delay"
+	case NetBlackhole:
+		return "blackhole"
+	case NetTrickle:
+		return "trickle"
+	}
+	return "unknown"
+}
+
+// NetFault is one injected network failure: Kind fired on the After'th
+// subsequent matching event (requests whose URL contains Match on the
+// RoundTripper plane; accepted connections on the proxy plane, where Match
+// is ignored).
+type NetFault struct {
+	Kind  NetFaultKind
+	Match string // URL substring filter; "" matches every request
+
+	// After is the number of matching events allowed through before the
+	// fault arms: 0 fires on the first match, 1 on the second, and so on.
+	After int
+
+	// TruncAt is a NetTruncate's cut point in response-body bytes.
+	TruncAt int
+
+	// Delay is a NetDelay's added latency, a NetTrickle's per-chunk
+	// interval.
+	Delay time.Duration
+
+	// Rate is a NetTrickle's bytes-per-interval (<= 0 selects 1).
+	Rate int
+
+	// Once disarms the fault after its first firing; otherwise it fires on
+	// every matching event past After.
+	Once bool
+}
+
+// InjectedNet is the error payload of an injected network fault. Resets
+// unwrap to syscall.ECONNRESET and truncations to io.ErrUnexpectedEOF, so
+// callers classify them exactly as they would the real failures.
+type InjectedNet struct {
+	Kind NetFaultKind
+	URL  string
+	Err  error
+}
+
+// Error describes the injected failure.
+func (e *InjectedNet) Error() string {
+	return fmt.Sprintf("faultinject: injected net %s on %s", e.Kind, e.URL)
+}
+
+// Unwrap exposes the modeled errno/EOF to errors.Is.
+func (e *InjectedNet) Unwrap() error { return e.Err }
+
+// Timeout marks blackholes as timeouts for net.Error-aware callers.
+func (e *InjectedNet) Timeout() bool { return e.Kind == NetBlackhole }
+
+// NetFaults wraps an inner http.RoundTripper with a deterministic
+// network-fault schedule. Safe for concurrent use; the per-fault match
+// counters are mutex-guarded, so "the Nth matching request" is well defined
+// even under concurrency — tests that depend on exact victim identity
+// serialize their requests.
+type NetFaults struct {
+	inner http.RoundTripper
+
+	mu     sync.Mutex
+	faults []NetFault
+	seen   []int  // matching-request count per fault
+	fired  []bool // Once latches
+}
+
+// NewNetFaults wraps inner (nil selects http.DefaultTransport) with the
+// given fault schedule.
+func NewNetFaults(inner http.RoundTripper, faults ...NetFault) *NetFaults {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &NetFaults{
+		inner:  inner,
+		faults: faults,
+		seen:   make([]int, len(faults)),
+		fired:  make([]bool, len(faults)),
+	}
+}
+
+// Reset re-arms every fault and zeroes the match counters.
+func (n *NetFaults) Reset() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	clear(n.seen)
+	clear(n.fired)
+}
+
+// hit finds the first armed fault matching url, advancing match counters
+// and latching Once faults. It returns nil when no fault fires.
+func (n *NetFaults) hit(url string) *NetFault {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i := range n.faults {
+		f := &n.faults[i]
+		if n.fired[i] || !strings.Contains(url, f.Match) {
+			continue
+		}
+		c := n.seen[i]
+		n.seen[i]++
+		if c < f.After {
+			continue
+		}
+		if f.Once {
+			n.fired[i] = true
+		}
+		return f
+	}
+	return nil
+}
+
+// RoundTrip implements http.RoundTripper: consult the schedule, then either
+// fail, delay, truncate, or forward the request unchanged.
+func (n *NetFaults) RoundTrip(req *http.Request) (*http.Response, error) {
+	url := req.URL.String()
+	f := n.hit(url)
+	if f == nil {
+		return n.inner.RoundTrip(req)
+	}
+	switch f.Kind {
+	case NetConnReset:
+		return nil, &InjectedNet{Kind: f.Kind, URL: url, Err: syscall.ECONNRESET}
+	case NetBlackhole:
+		// Silence: nothing comes back until the caller's own deadline does.
+		<-req.Context().Done()
+		return nil, &InjectedNet{Kind: f.Kind, URL: url, Err: req.Context().Err()}
+	case NetDelay, NetTrickle:
+		t := time.NewTimer(f.Delay)
+		select {
+		case <-req.Context().Done():
+			t.Stop()
+			return nil, &InjectedNet{Kind: NetDelay, URL: url, Err: req.Context().Err()}
+		case <-t.C:
+		}
+		return n.inner.RoundTrip(req)
+	case NetTruncate:
+		resp, err := n.inner.RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		resp.Body = &truncatedBody{inner: resp.Body, remaining: f.TruncAt, url: url}
+		resp.ContentLength = -1
+		return resp, nil
+	}
+	return n.inner.RoundTrip(req)
+}
+
+// truncatedBody delivers a bounded prefix of the response, then fails the
+// read the way a cut connection does.
+type truncatedBody struct {
+	inner     io.ReadCloser
+	remaining int
+	url       string
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, &InjectedNet{Kind: NetTruncate, URL: b.url, Err: io.ErrUnexpectedEOF}
+	}
+	if len(p) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.inner.Read(p)
+	b.remaining -= n
+	if err == io.EOF {
+		return n, err // genuine end before the cut: pass through
+	}
+	if b.remaining <= 0 && err == nil {
+		err = &InjectedNet{Kind: NetTruncate, URL: b.url, Err: io.ErrUnexpectedEOF}
+	}
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.inner.Close() }
+
+// ScatterNet derives a deterministic fault schedule from one seed: k faults
+// drawn from kinds, assigned to distinct event indices in [0, n), each Once.
+// Delays are drawn from the same stream in [minDelay, 2*minDelay). The
+// schedule is a pure function of its arguments — the same seed reproduces
+// the same faults at the same positions, which the determinism test pins.
+func ScatterNet(seed uint64, n, k int, minDelay time.Duration, kinds ...NetFaultKind) []NetFault {
+	if len(kinds) == 0 {
+		kinds = []NetFaultKind{NetConnReset, NetTruncate, NetDelay}
+	}
+	if k > n {
+		k = n
+	}
+	rng := xrand.New(xrand.Hash2(seed, 0x6e657466 /* "netf" */))
+	// Reservoir-free victim pick: shuffle [0,n) prefix deterministically.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	faults := make([]NetFault, 0, k)
+	for i := 0; i < k; i++ {
+		kind := kinds[rng.Intn(len(kinds))]
+		f := NetFault{Kind: kind, After: idx[i], Once: true}
+		switch kind {
+		case NetTruncate:
+			f.TruncAt = 1 + rng.Intn(256)
+		case NetDelay, NetTrickle:
+			d := uint64(minDelay)
+			if d == 0 {
+				d = uint64(time.Millisecond)
+			}
+			f.Delay = time.Duration(d + rng.Uint64()%d)
+			f.Rate = 1
+		}
+		faults = append(faults, f)
+	}
+	return faults
+}

@@ -1,0 +1,227 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"reflect"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// stubRT is a canned inner transport: every request succeeds with body.
+type stubRT struct {
+	body  string
+	calls int
+}
+
+func (s *stubRT) RoundTrip(*http.Request) (*http.Response, error) {
+	s.calls++
+	return &http.Response{
+		StatusCode:    200,
+		Body:          io.NopCloser(strings.NewReader(s.body)),
+		ContentLength: int64(len(s.body)),
+		Header:        make(http.Header),
+	}, nil
+}
+
+func netReq(t *testing.T, url string) *http.Request {
+	t.Helper()
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return req
+}
+
+func TestNetFaultsMatchAfterOnce(t *testing.T) {
+	inner := &stubRT{body: "ok"}
+	nf := NewNetFaults(inner, NetFault{
+		Kind: NetConnReset, Match: "/v1/compute", After: 1, Once: true,
+	})
+
+	// Non-matching URLs never trip the fault or advance its counter.
+	for i := 0; i < 3; i++ {
+		if _, err := nf.RoundTrip(netReq(t, "http://w0/healthz")); err != nil {
+			t.Fatalf("healthz %d: %v", i, err)
+		}
+	}
+	// First match passes (After: 1), second fires, third passes (Once).
+	if _, err := nf.RoundTrip(netReq(t, "http://w0/v1/compute?index=0")); err != nil {
+		t.Fatalf("first match: %v", err)
+	}
+	if _, err := nf.RoundTrip(netReq(t, "http://w0/v1/compute?index=1")); err == nil {
+		t.Fatal("second match: fault did not fire")
+	}
+	if _, err := nf.RoundTrip(netReq(t, "http://w0/v1/compute?index=2")); err != nil {
+		t.Fatalf("after Once firing: %v", err)
+	}
+
+	// Reset re-arms the schedule identically.
+	nf.Reset()
+	if _, err := nf.RoundTrip(netReq(t, "http://w0/v1/compute?index=0")); err != nil {
+		t.Fatalf("after Reset, first match: %v", err)
+	}
+	if _, err := nf.RoundTrip(netReq(t, "http://w0/v1/compute?index=1")); err == nil {
+		t.Fatal("after Reset, second match: fault did not fire")
+	}
+}
+
+// TestNetFaultsConnReset: the injected error classifies exactly like a real
+// RST — errors.Is(err, syscall.ECONNRESET) — and carries the fault identity.
+func TestNetFaultsConnReset(t *testing.T) {
+	nf := NewNetFaults(&stubRT{body: "ok"}, NetFault{Kind: NetConnReset})
+	_, err := nf.RoundTrip(netReq(t, "http://w0/v1/compute"))
+	if !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("err = %v, want ECONNRESET", err)
+	}
+	var inj *InjectedNet
+	if !errors.As(err, &inj) || inj.Kind != NetConnReset {
+		t.Fatalf("err = %#v, want *InjectedNet{NetConnReset}", err)
+	}
+	if inj.Timeout() {
+		t.Fatal("a reset must not classify as a timeout")
+	}
+}
+
+// TestNetFaultsBlackholeHonorsContext: a blackholed request blocks in
+// silence until the caller's own deadline expires, then surfaces a
+// timeout-classified error.
+func TestNetFaultsBlackholeHonorsContext(t *testing.T) {
+	nf := NewNetFaults(&stubRT{body: "ok"}, NetFault{Kind: NetBlackhole})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req := netReq(t, "http://w0/v1/compute").WithContext(ctx)
+	_, err := nf.RoundTrip(req)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	var inj *InjectedNet
+	if !errors.As(err, &inj) || !inj.Timeout() {
+		t.Fatalf("blackhole must classify as a timeout; got %#v", err)
+	}
+}
+
+// TestNetFaultsTruncate: the body delivers exactly TruncAt bytes, then the
+// read fails like a cut connection (io.ErrUnexpectedEOF), never a clean EOF.
+func TestNetFaultsTruncate(t *testing.T) {
+	const payload = "0123456789abcdef"
+	nf := NewNetFaults(&stubRT{body: payload}, NetFault{Kind: NetTruncate, TruncAt: 5})
+	resp, err := nf.RoundTrip(netReq(t, "http://w0/v1/compute"))
+	if err != nil {
+		t.Fatalf("RoundTrip: %v", err)
+	}
+	defer resp.Body.Close()
+	got, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("read err = %v, want ErrUnexpectedEOF", err)
+	}
+	if string(got) != payload[:5] {
+		t.Fatalf("delivered %q, want %q", got, payload[:5])
+	}
+}
+
+// TestNetFaultsTruncatePastEnd: a cut point beyond the body length changes
+// nothing — the genuine EOF passes through and the payload is intact.
+func TestNetFaultsTruncatePastEnd(t *testing.T) {
+	const payload = "short"
+	nf := NewNetFaults(&stubRT{body: payload}, NetFault{Kind: NetTruncate, TruncAt: 100})
+	resp, err := nf.RoundTrip(netReq(t, "http://w0/v1/compute"))
+	if err != nil {
+		t.Fatalf("RoundTrip: %v", err)
+	}
+	defer resp.Body.Close()
+	got, err := io.ReadAll(resp.Body)
+	if err != nil || string(got) != payload {
+		t.Fatalf("read = %q, %v; want full %q, nil", got, err, payload)
+	}
+}
+
+// TestNetFaultsDelayForwards: a delayed request still succeeds; only its
+// latency changes. The delay must also respect cancellation.
+func TestNetFaultsDelayForwards(t *testing.T) {
+	inner := &stubRT{body: "ok"}
+	nf := NewNetFaults(inner, NetFault{Kind: NetDelay, Delay: 5 * time.Millisecond})
+	if _, err := nf.RoundTrip(netReq(t, "http://w0/v1/compute")); err != nil {
+		t.Fatalf("delayed request failed: %v", err)
+	}
+	if inner.calls != 1 {
+		t.Fatalf("inner calls = %d, want 1", inner.calls)
+	}
+
+	nf = NewNetFaults(inner, NetFault{Kind: NetDelay, Delay: time.Hour})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := nf.RoundTrip(netReq(t, "http://w0/v1/compute").WithContext(ctx)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled delay: err = %v, want Canceled", err)
+	}
+}
+
+// scheduleString renders a fault schedule for golden comparison.
+func scheduleString(faults []NetFault) string {
+	var b strings.Builder
+	for _, f := range faults {
+		fmt.Fprintf(&b, "%s@%d t=%d d=%v r=%d once=%v\n", f.Kind, f.After, f.TruncAt, f.Delay, f.Rate, f.Once)
+	}
+	return b.String()
+}
+
+// TestScatterNetDeterministic pins the derivation: the schedule is a pure
+// function of the seed — identical across calls, pinned byte-for-byte for
+// one seed, different for a different seed.
+func TestScatterNetDeterministic(t *testing.T) {
+	a := ScatterNet(42, 20, 4, 2*time.Millisecond)
+	b := ScatterNet(42, 20, 4, 2*time.Millisecond)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n%s\nvs\n%s", scheduleString(a), scheduleString(b))
+	}
+	c := ScatterNet(43, 20, 4, 2*time.Millisecond)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+
+	// The golden schedule for seed 42. If this changes, every suite that
+	// pins a ScatterNet seed re-rolls its faults — bump deliberately.
+	const golden = "delay@10 t=0 d=2.359365ms r=1 once=true\n" +
+		"truncate@14 t=186 d=0s r=0 once=true\n" +
+		"truncate@18 t=111 d=0s r=0 once=true\n" +
+		"delay@8 t=0 d=2.48679ms r=1 once=true\n"
+	if got := scheduleString(a); got != golden {
+		t.Fatalf("seed-42 schedule changed:\n%s\nwant:\n%s", got, golden)
+	}
+}
+
+// TestScatterNetInvariants: structural guarantees hold for any seed — k
+// distinct victims inside [0, n), kind-appropriate parameters, all Once.
+func TestScatterNetInvariants(t *testing.T) {
+	for seed := uint64(1); seed <= 50; seed++ {
+		faults := ScatterNet(seed, 30, 8, time.Millisecond)
+		if len(faults) != 8 {
+			t.Fatalf("seed %d: %d faults, want 8", seed, len(faults))
+		}
+		seen := make(map[int]bool)
+		for _, f := range faults {
+			if !f.Once {
+				t.Fatalf("seed %d: fault not Once: %+v", seed, f)
+			}
+			if f.After < 0 || f.After >= 30 || seen[f.After] {
+				t.Fatalf("seed %d: bad/duplicate victim index %d", seed, f.After)
+			}
+			seen[f.After] = true
+			switch f.Kind {
+			case NetTruncate:
+				if f.TruncAt < 1 || f.TruncAt > 256 {
+					t.Fatalf("seed %d: TruncAt %d out of range", seed, f.TruncAt)
+				}
+			case NetDelay, NetTrickle:
+				if f.Delay < time.Millisecond || f.Delay >= 2*time.Millisecond {
+					t.Fatalf("seed %d: Delay %v out of [1ms, 2ms)", seed, f.Delay)
+				}
+			}
+		}
+	}
+}

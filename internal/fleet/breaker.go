@@ -1,0 +1,172 @@
+// Package fleet dispatches grid points to remote stserve workers over HTTP
+// and makes the dispatch self-healing. The substrate is the same one the
+// process-level sharding (internal/grid) stands on: points are pure
+// functions of (Config, Profile), the shared store is content-addressed and
+// last-rename-wins, and every process enumerates the identical grid — so
+// the network may reorder, duplicate, or lose work freely without touching
+// correctness, and this package only has to fight for liveness and tail
+// latency. Its weapons are the standard distributed-systems set, each
+// deterministic under test: per-request deadlines, bounded exponential
+// backoff with seeded jitter, hedged requests for stragglers, per-worker
+// circuit breakers, point-granularity leases with work stealing, and local
+// in-process compute as the degradation floor — a fleet run must complete
+// even with every worker unreachable.
+package fleet
+
+import (
+	"sync"
+	"time"
+
+	"selthrottle/internal/grid"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState uint8
+
+// Breaker states.
+const (
+	// BreakerClosed: requests flow; consecutive failures are counted.
+	BreakerClosed BreakerState = iota + 1
+	// BreakerOpen: the worker is presumed down; no requests until the
+	// open interval elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the open interval elapsed and one probe is in
+	// flight; its outcome closes or re-opens the breaker.
+	BreakerHalfOpen
+)
+
+// String names the state.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Breaker defaults.
+const (
+	// DefaultBreakerThreshold is the consecutive-failure count that opens
+	// a breaker.
+	DefaultBreakerThreshold = 3
+	// DefaultBreakerOpenFor is how long an open breaker rejects before
+	// allowing a probe.
+	DefaultBreakerOpenFor = 500 * time.Millisecond
+)
+
+// Breaker is a per-worker circuit breaker: closed → (threshold consecutive
+// failures) → open → (interval elapses) → half-open probe → closed on
+// success, open again on failure. It exists to stop the coordinator from
+// burning its retry budget and its deadline slack on a worker that is
+// plainly down — the dispatch analogue of the paper's selective throttling:
+// slow the one misbehaving unit, keep the rest at full speed.
+//
+// Time is the injected monotonic Clock (grid.Clock), never the wall clock,
+// so tests warp breaker timing without sleeping and the determinism
+// analyzer holds for this package.
+type Breaker struct {
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int           // consecutive failures while closed
+	threshold int           // failures that open the breaker
+	openFor   time.Duration // rejection interval before a probe is allowed
+	openedAt  time.Duration // clock reading at the last open
+	now       grid.Clock
+
+	opens  int // closed/half-open → open transitions
+	closes int // half-open → closed transitions
+}
+
+// NewBreaker builds a closed breaker (threshold <= 0 and openFor <= 0
+// select the defaults; nil clock selects the runtime monotonic clock).
+func NewBreaker(threshold int, openFor time.Duration, clock grid.Clock) *Breaker {
+	if threshold <= 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	if openFor <= 0 {
+		openFor = DefaultBreakerOpenFor
+	}
+	if clock == nil {
+		clock = grid.MonotonicClock()
+	}
+	return &Breaker{state: BreakerClosed, threshold: threshold, openFor: openFor, now: clock}
+}
+
+// State reports the breaker's current position (open flips to half-open
+// lazily, at the Allow that first observes the interval elapsed).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Allow asks whether a request may be sent. ok=false rejects outright.
+// ok=true, probe=false is normal closed-state traffic. ok=true, probe=true
+// grants the half-open trial: exactly one caller receives it per open
+// interval, and MUST report its outcome via Record(ok, true) — the breaker
+// stays half-open (rejecting everyone else) until it does.
+func (b *Breaker) Allow() (ok, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true, false
+	case BreakerOpen:
+		if b.now()-b.openedAt >= b.openFor {
+			b.state = BreakerHalfOpen
+			return true, true
+		}
+		return false, false
+	case BreakerHalfOpen:
+		return false, false // one probe at a time
+	}
+	return false, false
+}
+
+// Record reports a request outcome. Probe outcomes resolve the half-open
+// trial: success closes, failure re-opens (restarting the interval).
+// Normal outcomes count consecutive failures toward the threshold; any
+// success resets the count.
+func (b *Breaker) Record(success, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe {
+		if b.state != BreakerHalfOpen {
+			return // stale probe result after a concurrent transition
+		}
+		if success {
+			b.state = BreakerClosed
+			b.failures = 0
+			b.closes++
+		} else {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+		}
+		return
+	}
+	if success {
+		b.failures = 0
+		return
+	}
+	if b.state != BreakerClosed {
+		return
+	}
+	b.failures++
+	if b.failures >= b.threshold {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.opens++
+	}
+}
+
+// Counters reports lifetime open and close transitions — the observability
+// the chaos acceptance test pins its open→half-open→closed cycle on.
+func (b *Breaker) Counters() (opens, closes int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens, b.closes
+}

@@ -1,0 +1,137 @@
+package fleet
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// warpClock is an injectable monotonic source warped explicitly — breaker
+// timing is never tested by sleeping.
+type warpClock struct{ now atomic.Int64 }
+
+func (c *warpClock) clock() func() time.Duration {
+	return func() time.Duration { return time.Duration(c.now.Load()) }
+}
+func (c *warpClock) advance(d time.Duration) { c.now.Add(int64(d)) }
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	clk := &warpClock{}
+	b := NewBreaker(3, time.Second, clk.clock())
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.Allow(); !ok {
+			t.Fatalf("closed breaker rejected request %d", i)
+		}
+		b.Record(false, false)
+	}
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("state after 2/3 failures = %v, want closed", st)
+	}
+	// A success resets the consecutive count.
+	b.Record(true, false)
+	b.Record(false, false)
+	b.Record(false, false)
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("state after reset + 2 failures = %v, want closed", st)
+	}
+	b.Record(false, false)
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("state after 3 consecutive failures = %v, want open", st)
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("open breaker admitted a request")
+	}
+	if opens, closes := b.Counters(); opens != 1 || closes != 0 {
+		t.Fatalf("counters = %d/%d, want 1/0", opens, closes)
+	}
+}
+
+// TestBreakerProbeCycle drives the full open → half-open → closed cycle:
+// the open interval elapses, exactly one probe is granted, a failed probe
+// re-opens (restarting the interval), a successful one closes.
+func TestBreakerProbeCycle(t *testing.T) {
+	clk := &warpClock{}
+	b := NewBreaker(1, time.Second, clk.clock())
+	b.Record(false, false)
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("state = %v, want open", st)
+	}
+
+	// Before the interval: rejected. After: exactly one probe grant.
+	clk.advance(999 * time.Millisecond)
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("breaker admitted before the open interval elapsed")
+	}
+	clk.advance(time.Millisecond)
+	ok, probe := b.Allow()
+	if !ok || !probe {
+		t.Fatalf("Allow after interval = %v, %v; want probe grant", ok, probe)
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("second concurrent probe granted")
+	}
+
+	// Failed probe → open again, interval restarted from now.
+	b.Record(false, true)
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", st)
+	}
+	clk.advance(time.Second - 1)
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("interval did not restart after the failed probe")
+	}
+	clk.advance(1)
+	if ok, probe := b.Allow(); !ok || !probe {
+		t.Fatal("no probe grant after the restarted interval")
+	}
+
+	// Successful probe → closed; traffic flows and failures start from 0.
+	b.Record(true, true)
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("state after probe success = %v, want closed", st)
+	}
+	if ok, probe := b.Allow(); !ok || probe {
+		t.Fatalf("closed breaker Allow = %v, %v", ok, probe)
+	}
+	if opens, closes := b.Counters(); opens != 1 || closes != 1 {
+		t.Fatalf("counters = %d/%d, want 1/1", opens, closes)
+	}
+}
+
+// TestBreakerIgnoresStaleAndNonClosedOutcomes: outcomes that race a state
+// transition must not corrupt the machine — a probe result landing after
+// the breaker moved on is dropped, and normal failures only count while
+// closed.
+func TestBreakerIgnoresStaleAndNonClosedOutcomes(t *testing.T) {
+	clk := &warpClock{}
+	b := NewBreaker(1, time.Second, clk.clock())
+
+	// Probe result while closed: dropped.
+	b.Record(false, true)
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("stale probe failure changed state to %v", st)
+	}
+
+	// Normal failure while open: dropped (the breaker is already open; the
+	// in-flight stragglers' failures must not extend or double-count).
+	b.Record(false, false)
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("state = %v, want open", st)
+	}
+	b.Record(false, false)
+	clk.advance(time.Second)
+	if ok, probe := b.Allow(); !ok || !probe {
+		t.Fatal("open interval shifted by a dropped failure")
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := NewBreaker(0, 0, nil)
+	if b.threshold != DefaultBreakerThreshold || b.openFor != DefaultBreakerOpenFor {
+		t.Fatalf("defaults = %d, %v", b.threshold, b.openFor)
+	}
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("new breaker state = %v", st)
+	}
+}

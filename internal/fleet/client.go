@@ -1,0 +1,194 @@
+package fleet
+
+// The coordinator's HTTP client layer: one robust call per grid point. All
+// policy (retries, hedging, breakers) lives in the coordinator; this file
+// owns the mechanics of a single attempt — build the request, bound it
+// with the per-point deadline, classify the outcome. Classification is the
+// load-bearing part: a 409 (lease conflict) means "someone else is
+// computing this point" and is progress, not failure; a 429 (shed) is the
+// worker's own admission control working and must not trip its breaker;
+// transport errors, timeouts, 5xx, and 503 (draining) are evidence the
+// worker should stop receiving traffic.
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"selthrottle/internal/sim"
+)
+
+// CallError is one failed /v1/compute attempt, classified for retry,
+// breaker, and conflict policy. Status 0 means the request never got an
+// HTTP response (transport error, deadline).
+type CallError struct {
+	Worker string
+	Status int
+	Err    error
+}
+
+// Error describes the failed attempt.
+func (e *CallError) Error() string {
+	if e.Status != 0 {
+		return fmt.Sprintf("fleet: %s: HTTP %d: %v", e.Worker, e.Status, e.Err)
+	}
+	return fmt.Sprintf("fleet: %s: %v", e.Worker, e.Err)
+}
+
+// Unwrap exposes the cause.
+func (e *CallError) Unwrap() error { return e.Err }
+
+// Conflict reports a 409: the point's lease is held — another worker (or a
+// hedge twin) is computing it. The right response is patience or a steal,
+// never a breaker trip.
+func (e *CallError) Conflict() bool { return e.Status == http.StatusConflict }
+
+// Terminal reports a failure no retry can fix: the request itself is wrong
+// (4xx other than conflict/shed) or the simulation failed deterministically
+// (500). Grid mismatch (412) is the canonical terminal case — version skew
+// retried forever would spin, not converge.
+func (e *CallError) Terminal() bool {
+	switch e.Status {
+	case http.StatusConflict, http.StatusTooManyRequests:
+		return false
+	case http.StatusInternalServerError:
+		return true
+	}
+	return e.Status >= 400 && e.Status < 500
+}
+
+// BreakerFault reports whether this failure is evidence against the
+// worker: transport errors, deadlines, 5xx, and draining (503) count; a
+// shed (429) or a lease conflict (409) is the system working as designed.
+func (e *CallError) BreakerFault() bool {
+	if e.Status == 0 {
+		return true // transport error or timeout: never reached a handler
+	}
+	switch e.Status {
+	case http.StatusTooManyRequests, http.StatusConflict:
+		return false
+	}
+	return e.Status >= 500
+}
+
+// maxErrorBody bounds how much of an error response is read for the
+// diagnostic.
+const maxErrorBody = 4 << 10
+
+// computeCall issues one /v1/compute attempt against base for point index
+// of the spec'd grid, bounded by timeout. On 200 the wire bytes are
+// decoded through the store codec (CRC-checked — a truncated or corrupted
+// body fails exactly like a corrupt store entry). Every failure returns a
+// *CallError.
+func computeCall(ctx context.Context, hc *http.Client, base, workerName string, spec GridSpec, gridID string, index int, steal bool, timeout time.Duration) (sim.Result, ComputeResponse, error) {
+	q := spec.Query()
+	q.Set("grid", gridID)
+	q.Set("index", strconv.Itoa(index))
+	if steal {
+		q.Set("steal", "1")
+	}
+	u := base + "/v1/compute?" + q.Encode()
+
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return sim.Result{}, ComputeResponse{}, &CallError{Worker: workerName, Err: err}
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return sim.Result{}, ComputeResponse{}, &CallError{Worker: workerName, Err: err}
+	}
+	defer resp.Body.Close()
+
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrorBody))
+		return sim.Result{}, ComputeResponse{}, &CallError{
+			Worker: workerName,
+			Status: resp.StatusCode,
+			Err:    fmt.Errorf("%s", firstLine(body)),
+		}
+	}
+	var cr ComputeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		// A cut connection surfaces here (unexpected EOF mid-body): a
+		// transport failure, retryable, breaker-visible.
+		return sim.Result{}, ComputeResponse{}, &CallError{Worker: workerName, Err: fmt.Errorf("decode response: %w", err)}
+	}
+	raw, err := base64.StdEncoding.DecodeString(cr.ResultB64)
+	if err != nil {
+		return sim.Result{}, ComputeResponse{}, &CallError{Worker: workerName, Err: fmt.Errorf("decode result: %w", err)}
+	}
+	res, err := sim.DecodeResultEntry(raw)
+	if err != nil {
+		return sim.Result{}, ComputeResponse{}, &CallError{Worker: workerName, Err: fmt.Errorf("decode result: %w", err)}
+	}
+	return res, cr, nil
+}
+
+// probeCall issues the half-open breaker probe: a cheap readiness check.
+// /readyz distinguishes a draining worker (alive but leaving) from a ready
+// one; both liveness-only and compute traffic would get that wrong.
+func probeCall(ctx context.Context, hc *http.Client, base, workerName string, timeout time.Duration) error {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/readyz", nil)
+	if err != nil {
+		return &CallError{Worker: workerName, Err: err}
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return &CallError{Worker: workerName, Err: err}
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, maxErrorBody))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return &CallError{Worker: workerName, Status: resp.StatusCode, Err: errors.New("not ready")}
+	}
+	return nil
+}
+
+// firstLine trims an error body to its first line for diagnostics.
+func firstLine(b []byte) string {
+	for i, c := range b {
+		if c == '\n' {
+			b = b[:i]
+			break
+		}
+	}
+	return string(b)
+}
+
+// normalizeBase canonicalizes a worker target: "host:port" gains the
+// http:// scheme, trailing slashes are dropped.
+func normalizeBase(target string) (string, error) {
+	if target == "" {
+		return "", errors.New("fleet: empty worker address")
+	}
+	s := target
+	// "host:port" parses as scheme "host", opaque "port" — presence of
+	// "://" is the reliable schemeless test, not url.Parse.
+	if !strings.Contains(s, "://") {
+		s = "http://" + s
+	}
+	u, err := url.Parse(s)
+	if err != nil || u.Host == "" {
+		return "", fmt.Errorf("fleet: bad worker address %q", target)
+	}
+	u.Path, u.RawQuery, u.Fragment = "", "", ""
+	return u.String(), nil
+}

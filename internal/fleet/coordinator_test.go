@@ -1,0 +1,290 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"selthrottle/internal/faultinject"
+	"selthrottle/internal/grid"
+)
+
+// fleetWorker mounts a ComputeServer plus /readyz on a real HTTP listener —
+// one simulated stserve instance.
+func fleetWorker(t *testing.T, cs *ComputeServer) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.Handle("/v1/compute", cs)
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(200)
+		w.Write([]byte("ready\n"))
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestFleetRunNoWorkersDegradesLocal: the degradation floor — an empty
+// worker list (and an unreachable one) still completes the whole grid, in
+// process.
+func TestFleetRunNoWorkersDegradesLocal(t *testing.T) {
+	st, dir := attachTestStore(t)
+	leases, err := grid.NewManager(dir, nil, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec(6110)
+	pts := specPoints(t, spec)
+
+	rep, err := Run(context.Background(), Options{
+		Spec: spec, Points: pts, Leases: leases, Owner: "coord-test",
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Local != len(pts) || rep.Remote != 0 || rep.Failed != 0 {
+		t.Fatalf("report = %+v, want all %d points local", rep, len(pts))
+	}
+	for _, pt := range pts {
+		if k := pt.Key(); !st.Has(k) {
+			t.Fatalf("point %x not published", k[:6])
+		}
+	}
+}
+
+// TestFleetRunAllWorkersUnreachable: every dispatch fails at the transport;
+// the coordinator parks the grid and computes it locally — completion, not
+// failure.
+func TestFleetRunAllWorkersUnreachable(t *testing.T) {
+	st, dir := attachTestStore(t)
+	leases, err := grid.NewManager(dir, nil, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec(6120)
+	pts := specPoints(t, spec)
+
+	rep, err := Run(context.Background(), Options{
+		// Reserved port 1: connection refused immediately.
+		Workers:          []string{"127.0.0.1:1"},
+		Spec:             spec,
+		Points:           pts,
+		Retries:          -1,
+		HedgeAfter:       -1,
+		Backoff:          time.Millisecond,
+		BreakerThreshold: 1,
+		Leases:           leases,
+		Owner:            "coord-test",
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Local != len(pts) || rep.Remote != 0 {
+		t.Fatalf("report = %+v, want all %d points local", rep, len(pts))
+	}
+	if len(rep.PerWorker) != 1 || rep.PerWorker[0].Failures == 0 {
+		t.Fatalf("per-worker stats = %+v, want recorded failures", rep.PerWorker)
+	}
+	for _, pt := range pts {
+		if k := pt.Key(); !st.Has(k) {
+			t.Fatalf("point %x not published", k[:6])
+		}
+	}
+}
+
+// TestFleetRunRemote: the happy path — a healthy worker serves every point,
+// results land in the shared store AND the coordinator's process cache.
+func TestFleetRunRemote(t *testing.T) {
+	st, dir := attachTestStore(t)
+	leases, err := grid.NewManager(dir, nil, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec(6130)
+	pts := specPoints(t, spec)
+	cs := &ComputeServer{Leases: leases, Owner: "w0"}
+	srv := fleetWorker(t, cs)
+
+	rep, err := Run(context.Background(), Options{
+		Workers: []string{srv.URL},
+		Spec:    spec, Points: pts,
+		Leases: leases, Owner: "coord-test",
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Remote != len(pts) || rep.Local != 0 || rep.Failed != 0 {
+		t.Fatalf("report = %+v, want all %d points remote", rep, len(pts))
+	}
+	if cs.Stats().Served != uint64(len(pts)) {
+		t.Fatalf("worker served %d, want %d", cs.Stats().Served, len(pts))
+	}
+	for _, pt := range pts {
+		if k := pt.Key(); !st.Has(k) {
+			t.Fatalf("point %x not in the shared store", k[:6])
+		}
+	}
+	// Second run over the warm store dispatches nothing.
+	rep2, err := Run(context.Background(), Options{
+		Workers: []string{srv.URL}, Spec: spec, Points: pts, Leases: leases, Owner: "coord-test",
+	})
+	if err != nil || rep2.Stored != len(pts) || rep2.Remote != 0 || rep2.Local != 0 {
+		t.Fatalf("warm rerun = %+v, %v; want all stored", rep2, err)
+	}
+}
+
+// TestFleetRunHedgesStraggler: worker A's responses are delayed far past
+// the hedge threshold; the hedge twin on worker B wins while A straggles.
+func TestFleetRunHedgesStraggler(t *testing.T) {
+	st, dir := attachTestStore(t)
+	leases, err := grid.NewManager(dir, nil, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec(6140)
+	pts := specPoints(t, spec)
+	slow := fleetWorker(t, &ComputeServer{Leases: leases, Owner: "w-slow"})
+	fast := fleetWorker(t, &ComputeServer{Leases: leases, Owner: "w-fast"})
+
+	slowHost, _ := url.Parse(slow.URL)
+	// Every compute request to the slow worker hangs ~2s before forwarding;
+	// probes to /readyz stay fast so its breaker never interferes.
+	nf := faultinject.NewNetFaults(nil, faultinject.NetFault{
+		Kind:  faultinject.NetDelay,
+		Match: slowHost.Host + "/v1/compute",
+		Delay: 2 * time.Second,
+	})
+
+	rep, err := Run(context.Background(), Options{
+		Workers:    []string{slow.URL, fast.URL},
+		Spec:       spec,
+		Points:     pts,
+		Transport:  nf,
+		HedgeAfter: 30 * time.Millisecond,
+		// A cap far above the point count: the fast worker always has a free
+		// slot for a hedge, so every slow-worker primary is hedgeable.
+		PerWorker: 64,
+		Leases:    leases,
+		Owner:     "coord-test",
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Remote+rep.Local != len(pts) || rep.Failed != 0 {
+		t.Fatalf("report = %+v, want %d points served", rep, len(pts))
+	}
+	if rep.Hedges == 0 || rep.HedgeWins == 0 {
+		t.Fatalf("report = %+v, want at least one hedge and one hedge win", rep)
+	}
+	for _, pt := range pts {
+		if k := pt.Key(); !st.Has(k) {
+			t.Fatalf("point %x not published", k[:6])
+		}
+	}
+}
+
+// TestFleetRunBreakerCycle: consecutive transport failures open the one
+// worker's breaker; once the open interval elapses, a /readyz probe closes
+// it and dispatch resumes remotely — open → half-open → closed, observed
+// through the report counters.
+func TestFleetRunBreakerCycle(t *testing.T) {
+	_, dir := attachTestStore(t)
+	leases, err := grid.NewManager(dir, nil, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec(6150)
+	pts := specPoints(t, spec)
+	srv := fleetWorker(t, &ComputeServer{Leases: leases, Owner: "w0"})
+
+	// The first two connections reset (two one-shot faults); everything
+	// after — including the breaker probe — succeeds.
+	nf := faultinject.NewNetFaults(nil,
+		faultinject.NetFault{Kind: faultinject.NetConnReset, Match: "/v1/compute", After: 0, Once: true},
+		faultinject.NetFault{Kind: faultinject.NetConnReset, Match: "/v1/compute", After: 0, Once: true},
+	)
+
+	rep, err := Run(context.Background(), Options{
+		Workers:          []string{srv.URL},
+		Spec:             spec,
+		Points:           pts,
+		Transport:        nf,
+		Retries:          6,
+		Backoff:          60 * time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerOpenFor:   20 * time.Millisecond,
+		HedgeAfter:       -1,
+		Leases:           leases,
+		Owner:            "coord-test",
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Remote+rep.Local != len(pts) || rep.Failed != 0 {
+		t.Fatalf("report = %+v, want %d points served", rep, len(pts))
+	}
+	ws := rep.PerWorker[0]
+	if ws.BreakerOpens == 0 || ws.BreakerCloses == 0 {
+		t.Fatalf("worker stats = %+v, want an open → close cycle", ws)
+	}
+	if rep.Probes == 0 {
+		t.Fatalf("report = %+v, want at least one half-open probe", rep)
+	}
+	if rep.Remote == 0 {
+		t.Fatalf("report = %+v, want remote dispatch to resume after the probe", rep)
+	}
+}
+
+// TestFleetRunInterrupted: canceling the context mid-dispatch cancels the
+// blackholed in-flight requests and Run returns promptly with Interrupted —
+// the signal-forwarding contract.
+func TestFleetRunInterrupted(t *testing.T) {
+	_, dir := attachTestStore(t)
+	leases, err := grid.NewManager(dir, nil, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec(6160)
+	pts := specPoints(t, spec)
+	srv := fleetWorker(t, &ComputeServer{Leases: leases, Owner: "w0"})
+
+	// Every compute request disappears into a blackhole: only cancellation
+	// can end them.
+	nf := faultinject.NewNetFaults(nil, faultinject.NetFault{Kind: faultinject.NetBlackhole, Match: "/v1/compute"})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	done := make(chan struct{})
+	var rep Report
+	go func() {
+		defer close(done)
+		rep, err = Run(ctx, Options{
+			Workers:      []string{srv.URL},
+			Spec:         spec,
+			Points:       pts,
+			Transport:    nf,
+			PointTimeout: time.Hour, // only cancellation may end the requests
+			HedgeAfter:   -1,
+			Leases:       leases,
+			Owner:        "coord-test",
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after cancellation: in-flight requests were not canceled")
+	}
+	if !rep.Interrupted {
+		t.Fatalf("report = %+v, want Interrupted", rep)
+	}
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

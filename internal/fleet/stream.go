@@ -1,0 +1,112 @@
+package fleet
+
+// NDJSON sweep-stream consumption. stserve's /v1/sweep streams one JSON
+// object per line; over a faulty network the coordinator can receive a
+// truncated final line (connection cut mid-object), interleaved garbage
+// (a proxy error page spliced into the stream), or a clean mid-stream EOF.
+// None of those may panic, and all of them must surface as one typed error
+// carrying everything already decoded — a partially received sweep is
+// partial progress, not garbage.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SweepComparison is one averaged metric bundle of a sweep point (the JSON
+// shape stserve emits).
+type SweepComparison struct {
+	Benchmark     string  `json:"benchmark"`
+	Speedup       float64 `json:"speedup"`
+	PowerSaving   float64 `json:"power_saving_pct"`
+	EnergySaving  float64 `json:"energy_saving_pct"`
+	EDImprovement float64 `json:"ed_improvement_pct"`
+}
+
+// SweepPoint is one NDJSON line of a /v1/sweep response.
+type SweepPoint struct {
+	X        int             `json:"x"`
+	Average  SweepComparison `json:"average"`
+	Failures []string        `json:"failures,omitempty"`
+}
+
+// StreamError is the typed failure of an NDJSON stream consumer: where the
+// stream went bad (1-based line number), the offending bytes (bounded for
+// display), and the underlying cause — a JSON syntax error for garbage, an
+// io error for a cut transport, io.ErrUnexpectedEOF for a line the
+// connection died in the middle of.
+type StreamError struct {
+	Line int    // 1-based index of the bad line
+	Data string // offending bytes, truncated for display
+	Err  error
+}
+
+// Error locates and describes the stream failure.
+func (e *StreamError) Error() string {
+	if e.Data == "" {
+		return fmt.Sprintf("fleet: sweep stream line %d: %v", e.Line, e.Err)
+	}
+	return fmt.Sprintf("fleet: sweep stream line %d (%q): %v", e.Line, e.Data, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *StreamError) Unwrap() error { return e.Err }
+
+// streamErrData bounds the offending-bytes excerpt in a StreamError.
+const streamErrData = 64
+
+func newStreamError(line int, data []byte, err error) *StreamError {
+	d := data
+	if len(d) > streamErrData {
+		d = d[:streamErrData]
+	}
+	return &StreamError{Line: line, Data: string(d), Err: err}
+}
+
+// maxStreamLine bounds one NDJSON line. A line past this is not a sweep
+// point, it is garbage or an attack; bounding it keeps a hostile or
+// corrupted stream from ballooning memory.
+const maxStreamLine = 1 << 20
+
+// DecodeSweepStream consumes an NDJSON sweep stream, returning every point
+// decoded before the stream ended or went bad. A clean end (EOF at a line
+// boundary, trailing newline optional) returns a nil error. Anything else —
+// a line that is not valid JSON, a final line cut mid-object, a transport
+// read error, an oversized line — returns the decoded prefix plus a
+// *StreamError; it never panics, whatever bytes arrive (the fuzz test's
+// charter). Blank lines are tolerated and skipped.
+func DecodeSweepStream(r io.Reader) ([]SweepPoint, error) {
+	br := bufio.NewReader(r)
+	var points []SweepPoint
+	line := 0
+	for {
+		data, err := br.ReadBytes('\n')
+		complete := err == nil
+		data = bytes.TrimSuffix(data, []byte("\n"))
+		data = bytes.TrimSuffix(data, []byte("\r"))
+		if len(bytes.TrimSpace(data)) > 0 {
+			line++
+			if len(data) > maxStreamLine {
+				return points, newStreamError(line, data, fmt.Errorf("line exceeds %d bytes", maxStreamLine))
+			}
+			var pt SweepPoint
+			if jerr := json.Unmarshal(data, &pt); jerr != nil {
+				// An undecodable final fragment at EOF is a cut, not garbage.
+				if !complete && err == io.EOF {
+					return points, newStreamError(line, data, io.ErrUnexpectedEOF)
+				}
+				return points, newStreamError(line, data, jerr)
+			}
+			points = append(points, pt)
+		}
+		if err != nil {
+			if err == io.EOF {
+				return points, nil
+			}
+			return points, newStreamError(line+1, nil, err)
+		}
+	}
+}

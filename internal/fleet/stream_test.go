@@ -1,0 +1,148 @@
+package fleet
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// brokenReader delivers its payload, then fails with a transport error.
+type brokenReader struct {
+	data string
+	err  error
+	off  int
+}
+
+func (r *brokenReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, r.err
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+const sweepLine = `{"x":14,"average":{"benchmark":"average","speedup":1.02,"power_saving_pct":20.1,"energy_saving_pct":18.7,"ed_improvement_pct":17.2}}`
+
+func TestDecodeSweepStreamClean(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		in   string
+		want int
+	}{
+		{"empty", "", 0},
+		{"blank lines only", "\n\n  \n", 0},
+		{"one line with newline", sweepLine + "\n", 1},
+		{"one line without trailing newline", sweepLine, 1},
+		{"crlf line endings", sweepLine + "\r\n" + sweepLine + "\r\n", 2},
+		{"blank lines interleaved", sweepLine + "\n\n" + sweepLine + "\n", 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			pts, err := DecodeSweepStream(strings.NewReader(tc.in))
+			if err != nil {
+				t.Fatalf("err = %v", err)
+			}
+			if len(pts) != tc.want {
+				t.Fatalf("decoded %d points, want %d", len(pts), tc.want)
+			}
+			if tc.want > 0 && (pts[0].X != 14 || pts[0].Average.Speedup != 1.02) {
+				t.Fatalf("point = %+v", pts[0])
+			}
+		})
+	}
+}
+
+// TestDecodeSweepStreamTruncatedFinalLine: a connection cut mid-object is a
+// typed unexpected-EOF error carrying the decoded prefix, never a panic and
+// never a silent short result.
+func TestDecodeSweepStreamTruncatedFinalLine(t *testing.T) {
+	in := sweepLine + "\n" + sweepLine[:47]
+	pts, err := DecodeSweepStream(strings.NewReader(in))
+	if len(pts) != 1 {
+		t.Fatalf("decoded %d points before the cut, want 1", len(pts))
+	}
+	var se *StreamError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *StreamError", err)
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want ErrUnexpectedEOF cause", err)
+	}
+	if se.Line != 2 || se.Data == "" {
+		t.Fatalf("StreamError = %+v, want line 2 with excerpt", se)
+	}
+}
+
+// TestDecodeSweepStreamGarbage: non-JSON bytes (a proxy's HTML error page,
+// say) are a typed error locating the bad line, with prior points kept.
+func TestDecodeSweepStreamGarbage(t *testing.T) {
+	in := sweepLine + "\n<html>502 Bad Gateway</html>\n" + sweepLine + "\n"
+	pts, err := DecodeSweepStream(strings.NewReader(in))
+	if len(pts) != 1 {
+		t.Fatalf("decoded %d points before the garbage, want 1", len(pts))
+	}
+	var se *StreamError
+	if !errors.As(err, &se) || se.Line != 2 {
+		t.Fatalf("err = %v, want *StreamError at line 2", err)
+	}
+	if errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatal("complete garbage line misclassified as a cut")
+	}
+	if !strings.Contains(se.Data, "<html>") {
+		t.Fatalf("excerpt %q does not show the offending bytes", se.Data)
+	}
+}
+
+// TestDecodeSweepStreamReaderError: a transport failure mid-stream surfaces
+// as a typed error wrapping the transport's own error.
+func TestDecodeSweepStreamReaderError(t *testing.T) {
+	cause := errors.New("read tcp: connection reset by peer")
+	pts, err := DecodeSweepStream(&brokenReader{data: sweepLine + "\n", err: cause})
+	if len(pts) != 1 {
+		t.Fatalf("decoded %d points before the failure, want 1", len(pts))
+	}
+	var se *StreamError
+	if !errors.As(err, &se) || !errors.Is(err, cause) {
+		t.Fatalf("err = %v, want *StreamError wrapping the transport error", err)
+	}
+}
+
+// TestDecodeSweepStreamExcerptBounded: the offending-bytes excerpt in the
+// error is bounded however large the bad line is.
+func TestDecodeSweepStreamExcerptBounded(t *testing.T) {
+	_, err := DecodeSweepStream(strings.NewReader(strings.Repeat("garbage ", 100) + "\n"))
+	var se *StreamError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *StreamError", err)
+	}
+	if len(se.Data) > streamErrData {
+		t.Fatalf("excerpt is %d bytes, bound is %d", len(se.Data), streamErrData)
+	}
+}
+
+// FuzzDecodeSweepStream is the no-panic charter: whatever bytes arrive —
+// truncations, garbage, interleavings, binary noise — the consumer returns
+// (points, error) and if the error is non-nil it is a *StreamError.
+func FuzzDecodeSweepStream(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte(sweepLine + "\n"))
+	f.Add([]byte(sweepLine + "\n" + sweepLine[:30]))
+	f.Add([]byte("<html>502</html>\n"))
+	f.Add([]byte("{\"x\":1,\n\"y\":2}\n"))
+	f.Add([]byte("\x00\xff\xfe binary noise\n" + sweepLine))
+	f.Add([]byte("\n\r\n  \n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pts, err := DecodeSweepStream(strings.NewReader(string(data)))
+		if err != nil {
+			var se *StreamError
+			if !errors.As(err, &se) {
+				t.Fatalf("error is not a *StreamError: %v", err)
+			}
+			if se.Line < 1 {
+				t.Fatalf("StreamError line %d < 1", se.Line)
+			}
+		}
+		_ = pts
+	})
+}

@@ -19,6 +19,7 @@ import (
 	"os/exec"
 	"time"
 
+	"selthrottle/internal/sim"
 	"selthrottle/internal/xrand"
 )
 
@@ -169,7 +170,14 @@ func (opts *CoordinatorOptions) supervisePartition(ctx context.Context, part int
 			return out
 		case <-t.C:
 		}
-		backoff *= 2
+		// Saturating doubling (sim.MaxBackoff): respawn budgets are small
+		// today, but unchecked doubling overflows time.Duration at high
+		// attempt counts and a negative timer fires immediately.
+		if backoff >= sim.MaxBackoff/2 {
+			backoff = sim.MaxBackoff
+		} else {
+			backoff *= 2
+		}
 	}
 }
 

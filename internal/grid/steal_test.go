@@ -1,0 +1,128 @@
+package grid
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"selthrottle/internal/sim"
+	"selthrottle/internal/store"
+)
+
+// stealFixture enumerates a small grid and attaches a fresh disk store.
+// Instructions vary per test so the process-wide result cache never leaks
+// points between tests.
+func stealFixture(t *testing.T, n uint64) ([]sim.GridPoint, *store.Store, *Manager) {
+	t.Helper()
+	dir := t.TempDir()
+	st, err := store.Open(dir, nil)
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	prev := sim.AttachDiskStore(st)
+	t.Cleanup(func() { sim.AttachDiskStore(prev) })
+	opts := sim.Options{Instructions: n, Warmup: n / 4, Depth: 14, PredBytes: 8 << 10, ConfBytes: 8 << 10}
+	pts, err := sim.EnumerateGrid("run", "C2", opts)
+	if err != nil {
+		t.Fatalf("EnumerateGrid: %v", err)
+	}
+	if len(pts) < 2 {
+		t.Fatalf("grid too small for a steal test: %d points", len(pts))
+	}
+	m, err := NewManager(dir, nil, 100*time.Millisecond)
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	return pts, st, m
+}
+
+// TestWorkerStealPassDrainsAbsentPartition: a worker that finishes its own
+// partition with Steal enabled must claim and compute every point of the
+// partition whose worker never showed up — the fleet's work-stealing floor.
+func TestWorkerStealPassDrainsAbsentPartition(t *testing.T) {
+	pts, st, m := stealFixture(t, 6210)
+
+	foreign := 0
+	for _, g := range pts {
+		if !Owns(g.Key(), 0, 2) {
+			foreign++
+		}
+	}
+	if foreign == 0 {
+		t.Skip("partition split left no foreign points")
+	}
+
+	rep, err := RunWorker(context.Background(), WorkerOptions{
+		Points: pts, Part: 0, Of: 2,
+		Owner: "w0", Leases: m, Steal: true,
+	})
+	if err != nil {
+		t.Fatalf("RunWorker: %v", err)
+	}
+	if rep.Computed != rep.Owned || rep.Failed != 0 {
+		t.Fatalf("report = %+v, want full own partition computed", rep)
+	}
+	if rep.Stolen != foreign {
+		t.Fatalf("stole %d points, want %d (the whole absent partition)", rep.Stolen, foreign)
+	}
+	for _, g := range pts {
+		if k := g.Key(); !st.Has(k) {
+			t.Fatalf("point %x missing from the store after the steal pass", k[:6])
+		}
+	}
+}
+
+// TestWorkerStealPassWaitsOutExpiredLease: a foreign point under a lease
+// whose holder died (no heartbeats) is stolen only after the lease expires
+// on the observer's monotonic clock — never while it might still be live.
+func TestWorkerStealPassWaitsOutExpiredLease(t *testing.T) {
+	pts, st, m := stealFixture(t, 6220)
+	gridID := ID(pts)
+
+	var heldKey store.Key
+	found := false
+	for _, g := range pts {
+		if !Owns(g.Key(), 0, 2) {
+			heldKey = g.Key()
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Skip("partition split left no foreign points")
+	}
+	// The dead worker: holds the point lease, never beats again.
+	if _, err := m.ClaimPoint(gridID, heldKey, "dead-worker", false); err != nil {
+		t.Fatalf("ClaimPoint: %v", err)
+	}
+
+	var mu sync.Mutex
+	var logbuf strings.Builder
+	rep, err := RunWorker(context.Background(), WorkerOptions{
+		Points: pts, Part: 0, Of: 2,
+		Owner: "w0", Leases: m, Steal: true,
+		Logf: func(format string, args ...any) {
+			mu.Lock()
+			fmt.Fprintf(&logbuf, format+"\n", args...)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatalf("RunWorker: %v", err)
+	}
+	if !st.Has(heldKey) {
+		t.Fatal("the dead worker's point was never rescued")
+	}
+	if rep.Stolen == 0 {
+		t.Fatalf("report = %+v, want stolen points", rep)
+	}
+	mu.Lock()
+	logs := logbuf.String()
+	mu.Unlock()
+	if !strings.Contains(logs, "stole expired point") {
+		t.Fatalf("steal pass never reported the expired-lease steal; logs:\n%s", logs)
+	}
+}

@@ -38,6 +38,14 @@ type WorkerOptions struct {
 	// Supervise is the per-point run policy (deadline, retries, faults).
 	Supervise sim.Supervisor
 
+	// Steal enables the point-steal pass: a worker that finishes its own
+	// partition sweeps the rest of the grid for points that are neither
+	// published to the store nor covered by a live point lease, claims
+	// them at point granularity, and computes them — a fast worker drains
+	// a slow (or dead) one's backlog instead of idling. Requires Leases
+	// and an attached disk store; silently skipped otherwise.
+	Steal bool
+
 	// FreezeBeats suppresses heartbeat renewal while computing continues —
 	// the half-dead-process fault (test use only).
 	FreezeBeats bool
@@ -55,6 +63,7 @@ type WorkerReport struct {
 	Owned       int  // points in this partition
 	Computed    int  // points that produced a valid Result (published to the store)
 	Failed      int  // points that terminally failed
+	Stolen      int  // foreign points computed by the steal pass
 	Interrupted bool // canceled (signal or lost lease) before finishing
 	LeaseLost   bool // the lease was stolen out from under the worker
 	Leaseless   bool // ran without lease protection (acquire I/O degraded)
@@ -151,6 +160,12 @@ func RunWorker(ctx context.Context, opts WorkerOptions) (WorkerReport, error) {
 		}
 	}
 
+	// Steal pass: own partition done (or empty) and nothing went wrong —
+	// rescue the rest of the grid before the partition lease is released.
+	if opts.Steal && ctx.Err() == nil && rep.Computed+rep.Failed == rep.Owned {
+		rep.Stolen = stealPass(ctx, &opts)
+	}
+
 	cancel()
 	<-heartbeatDone
 	if lease != nil && lease.Lost() {
@@ -166,4 +181,99 @@ func RunWorker(ctx context.Context, opts WorkerOptions) (WorkerReport, error) {
 			ErrInterrupted, opts.Part, rep.Computed+rep.Failed, rep.Owned, why)
 	}
 	return rep, nil
+}
+
+// stealPass drains the rest of the grid: every point outside this worker's
+// partition that is neither published nor under a live point lease gets
+// claimed (point granularity) and computed. A lease whose file exists is
+// watched on the reader's monotonic clock and stolen only once it expires
+// — a live sibling keeps its work; a dead one loses it after TTL. Stolen
+// computes skip continuous heartbeating: a point is one bounded compute,
+// the steal was confirmed by a Beat, and in the worst case a concurrent
+// re-steal just duplicates a pure, last-rename-wins publication. Returns
+// the number of foreign points computed.
+func stealPass(ctx context.Context, opts *WorkerOptions) int {
+	st := sim.DiskStore()
+	if st == nil || opts.Leases == nil {
+		return 0
+	}
+	gridID := ID(opts.Points)
+	type foreign struct {
+		idx  int
+		done bool
+		obs  *Observer
+	}
+	var others []*foreign
+	for i, g := range opts.Points {
+		if !Owns(g.Key(), opts.Part, opts.Of) {
+			others = append(others, &foreign{idx: i})
+		}
+	}
+	poll := opts.Leases.BeatInterval()
+	stolen := 0
+	sup := opts.Supervise
+	for ctx.Err() == nil {
+		remaining, progress := 0, false
+		for _, f := range others {
+			if f.done || ctx.Err() != nil {
+				continue
+			}
+			g := opts.Points[f.idx]
+			k := g.Key()
+			if st.Has(k) {
+				f.done = true
+				continue
+			}
+			lease, err := opts.Leases.ClaimPoint(gridID, k, opts.Owner, false)
+			switch {
+			case err == nil:
+				// unleased: ours
+			case errors.Is(err, ErrHeld):
+				if f.obs == nil {
+					f.obs = opts.Leases.Observe(PointLeaseName(gridID, k))
+				}
+				state, _ := f.obs.Check()
+				if state != StateExpired {
+					remaining++
+					continue // a holder is (or may still be) live
+				}
+				l, serr := opts.Leases.Steal(PointLeaseName(gridID, k), opts.Owner)
+				if serr != nil || l.Beat() != nil {
+					remaining++ // lost the steal race; someone else has it
+					continue
+				}
+				lease = l
+				opts.logf("worker p%d: stole expired point %x", opts.Part, k[:6])
+			default:
+				lease = nil // lease I/O degraded: compute unprotected
+			}
+			_, pst := sup.RunPointE(ctx, g.Cfg, g.Profile)
+			if lease != nil {
+				lease.Release()
+			}
+			if ctx.Err() != nil && !pst.OK() {
+				continue
+			}
+			f.done = true
+			progress = true
+			if pst.OK() {
+				stolen++
+			}
+		}
+		if remaining == 0 {
+			return stolen
+		}
+		if !progress {
+			// Everything left is under a possibly-live lease: wait a beat
+			// interval for holders to publish, renew, or expire.
+			t := time.NewTimer(poll)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return stolen
+			case <-t.C:
+			}
+		}
+	}
+	return stolen
 }

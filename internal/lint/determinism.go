@@ -37,6 +37,7 @@ var determinismScope = []string{
 	"internal/conf",
 	"internal/sim",
 	"internal/grid",
+	"internal/fleet",
 }
 
 // randConstructors are the math/rand[/v2] functions that build explicitly

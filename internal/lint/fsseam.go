@@ -22,14 +22,15 @@ import (
 // justification.
 var FSSeam = &Analyzer{
 	Name: "fsseam",
-	Doc: "forbid direct os.*/syscall file operations in internal/store and " +
-		"internal/grid outside the store.FS seam (fs.go)",
+	Doc: "forbid direct os.*/syscall file operations in internal/store, " +
+		"internal/grid, and internal/fleet outside the store.FS seam (fs.go)",
 	Run: runFSSeam,
 }
 
 var fsSeamScope = []string{
 	"internal/store",
 	"internal/grid",
+	"internal/fleet",
 }
 
 // osFileOps is the set of os package functions that touch the filesystem.

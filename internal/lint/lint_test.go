@@ -25,12 +25,20 @@ func TestFSSeamOutOfScope(t *testing.T) {
 	runFixture(t, FSSeam, fixture("fsseam", "outofscope"), "selthrottle/internal/pipe")
 }
 
+func TestFSSeamFleetScope(t *testing.T) {
+	runFixture(t, FSSeam, fixture("fsseam", "fleet"), "selthrottle/internal/fleet")
+}
+
 func TestDeterminism(t *testing.T) {
 	runFixture(t, Determinism, fixture("determinism", "inscope"), "selthrottle/internal/sim")
 }
 
 func TestDeterminismGridCarveOut(t *testing.T) {
 	runFixture(t, Determinism, fixture("determinism", "grid"), "selthrottle/internal/grid")
+}
+
+func TestDeterminismFleetScope(t *testing.T) {
+	runFixture(t, Determinism, fixture("determinism", "fleet"), "selthrottle/internal/fleet")
 }
 
 func TestDeterminismOutOfScope(t *testing.T) {

@@ -1,0 +1,26 @@
+package fleet
+
+import "time"
+
+// The fleet coordinator is inside the byte-identical-output scope: its
+// breakers and backoffs must run on injected clocks and seeded jitter.
+
+func badBreakerClock() time.Time {
+	return time.Now() // want "wall-clock read time.Now"
+}
+
+func badLatency(start time.Time) time.Duration {
+	return time.Since(start) // want "wall-clock read time.Since"
+}
+
+func badWorkerRange(workers map[string]int) int {
+	total := 0
+	for _, v := range workers { // want "map iteration order is nondeterministic"
+		total += v
+	}
+	return total
+}
+
+func allowedTimer(d time.Duration) *time.Timer {
+	return time.NewTimer(d) // timers wait; they do not read the wall clock into output
+}

@@ -1,0 +1,18 @@
+package fleet
+
+import "os"
+
+// The fleet packages hold leases and publish results through the shared
+// store; any direct file operation would dodge the injected fault FS.
+
+func badDirectWrite(dir string) error {
+	f, err := os.Create(dir + "/lease") // want "direct os.Create bypasses the store.FS seam"
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func allowedProcessControl() int {
+	return os.Getpid() // process control, not file I/O
+}

@@ -341,3 +341,28 @@ func waitGoroutines(t *testing.T, before int) {
 		time.Sleep(5 * time.Millisecond)
 	}
 }
+
+// TestNextBackoffSaturatesWithoutOverflow is the Retries=64 regression: 64
+// iterated doublings (one per retry of a maximal budget) must saturate at
+// MaxBackoff, never overflow time.Duration into a negative wait — a
+// negative timer fires immediately, which would turn the backoff into a hot
+// retry loop exactly when the system is most stressed.
+func TestNextBackoffSaturatesWithoutOverflow(t *testing.T) {
+	d := DefaultBackoff
+	for i := 0; i < 64; i++ {
+		d = nextBackoff(d)
+		if d <= 0 || d > MaxBackoff {
+			t.Fatalf("retry %d: backoff %v escaped (0, %v]", i+1, d, MaxBackoff)
+		}
+	}
+	if d != MaxBackoff {
+		t.Fatalf("backoff after 64 doublings = %v, want saturation at %v", d, MaxBackoff)
+	}
+	if got := nextBackoff(MaxBackoff); got != MaxBackoff {
+		t.Fatalf("nextBackoff(MaxBackoff) = %v, want %v", got, MaxBackoff)
+	}
+	// One nanosecond under half the cap is the last value allowed to double.
+	if got := nextBackoff(MaxBackoff/2 - 1); got != MaxBackoff-2 {
+		t.Fatalf("nextBackoff(cap/2-1) = %v, want %v", got, MaxBackoff-2)
+	}
+}

@@ -43,7 +43,8 @@ type Supervisor struct {
 	Retries int
 
 	// Backoff is the delay before the first retry, doubling per subsequent
-	// retry (0 selects DefaultBackoff). The wait is context-aware: a
+	// retry up to MaxBackoff (0 selects DefaultBackoff). The wait is
+	// context-aware: a
 	// canceled grid does not sit out its backoff. Each wait is jittered
 	// into [backoff/2, backoff] by a per-point stream seeded from
 	// JitterSeed, so a transient failure that hits many grid points at
@@ -131,6 +132,25 @@ func jittered(d time.Duration, rng *xrand.Rand) time.Duration {
 	return time.Duration(half + rng.Uint64()%(half+1))
 }
 
+// MaxBackoff caps exponential retry backoff. Past ~30s per wait a retry
+// loop is indistinguishable from a hang; more importantly, unchecked
+// doubling overflows time.Duration after 63 shifts — at Retries=64 the
+// naive `backoff *= 2` goes negative, and a negative timer fires
+// immediately, turning the backoff into a hot retry loop at exactly the
+// moment the system is most stressed.
+const MaxBackoff = 30 * time.Second
+
+// nextBackoff doubles a backoff wait, saturating at MaxBackoff. The
+// comparison runs BEFORE the multiply — checking the product for overflow
+// after the fact is too late, since signed overflow has already produced
+// an arbitrary (possibly positive) value.
+func nextBackoff(d time.Duration) time.Duration {
+	if d >= MaxBackoff/2 {
+		return MaxBackoff
+	}
+	return d * 2
+}
+
 // runPoint executes one grid point under the supervisor's policy: arm the
 // point's fault hook (stress suites), bound each attempt with the per-point
 // deadline, and retry transient failures with exponential backoff. The
@@ -179,7 +199,7 @@ func (s *Supervisor) runPoint(ctx context.Context, r *Runner, cfg Config, profil
 			return Result{}, status
 		case <-t.C:
 		}
-		backoff *= 2
+		backoff = nextBackoff(backoff)
 	}
 }
 

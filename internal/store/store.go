@@ -332,6 +332,18 @@ func (s *Store) Put(k Key, e *Entry) error {
 	return nil
 }
 
+// Has reports whether k is indexed, without reading or validating the
+// entry. It is the cheap pre-claim check for distributed dispatch: a point
+// another worker already published needs no lease and no compute. A true
+// answer can still miss at Get time (the file may rot in between), so
+// callers treat Has as a hint, never a guarantee.
+func (s *Store) Has(k Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[k]
+	return ok
+}
+
 // Len reports the number of valid entries currently indexed.
 func (s *Store) Len() int {
 	s.mu.Lock()
